@@ -1,0 +1,81 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one figure or quantified claim from the paper
+(see DESIGN.md's experiment index).  The interesting metrics are *virtual*
+time and message counts from the deterministic simulation; wall-clock timing
+from pytest-benchmark is reported as well but is not the reproduced result.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from repro import LocusCluster
+from repro.net.stats import StatsWindow
+
+
+def run_experiment(benchmark, fn: Callable[[], Dict], rounds: int = 1):
+    """Benchmark ``fn`` (which builds its own deterministic world and
+    returns a metrics dict); report metrics via extra_info and return them.
+    """
+    out: Dict = {}
+
+    def wrapper():
+        out.clear()
+        out.update(fn())
+
+    benchmark.pedantic(wrapper, rounds=rounds, iterations=1)
+    for key, value in out.items():
+        if isinstance(value, (int, float, str)):
+            benchmark.extra_info[key] = value
+    return out
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: List[Sequence]) -> None:
+    """Print one results table in the style the paper would report."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in text_rows)) if text_rows
+              else len(h) for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===", file=sys.stderr)
+    print(line, file=sys.stderr)
+    print("-" * len(line), file=sys.stderr)
+    for row in text_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)),
+              file=sys.stderr)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+class Measure:
+    """Capture virtual time, per-site cpu, and message traffic around a
+    block of cluster activity."""
+
+    def __init__(self, cluster: LocusCluster):
+        self.cluster = cluster
+        self.t0 = cluster.sim.now
+        self.cpu0 = {s.site_id: s.cpu_used for s in cluster.sites}
+        self.window = StatsWindow(cluster.stats)
+
+    def done(self) -> Dict:
+        snap = self.window.close()
+        return {
+            "vtime": self.cluster.sim.now - self.t0,
+            "cpu": {s.site_id: s.cpu_used - self.cpu0[s.site_id]
+                    for s in self.cluster.sites},
+            "cpu_total": sum(s.cpu_used for s in self.cluster.sites)
+            - sum(self.cpu0.values()),
+            "messages": snap.total_messages,
+            "bytes": snap.total_bytes,
+            "by_type": dict(snap.sent),
+        }

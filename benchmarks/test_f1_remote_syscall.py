@@ -1,0 +1,67 @@
+"""F1 — Figure 1: processing a system call requiring foreign service.
+
+The figure shows the timeline: initial system call processing and message
+setup at the requesting site, transmission, message analysis and system-call
+continuation at the serving site, the return message, and completion back at
+the requester.  We regenerate the same decomposition for a remote ``open``
+followed by one page read, reporting where the time goes.
+"""
+
+import sys
+
+import pytest
+
+from repro import LocusCluster, Mode
+from _harness import Measure, print_table, run_experiment
+
+
+def _experiment():
+    cluster = LocusCluster(n_sites=2, seed=1)
+    serving = cluster.shell(1)
+    serving.write_file("/foreign", b"f" * 512)      # stored at site 1 only
+    cluster.settle()
+    gfile = (0, serving.stat("/foreign")["ino"])
+
+    fs0 = cluster.site(0).fs
+    m = Measure(cluster)
+    handle = cluster.call(0, fs0.open_gfile(gfile, Mode.READ))
+    data = cluster.call(0, fs0.read(handle, 0, 512))
+    cluster.call(0, fs0.close(handle))
+    metrics = m.done()
+    assert data == b"f" * 512
+
+    requesting_cpu = metrics["cpu"][0]
+    serving_cpu = metrics["cpu"][1]
+    wire_time = metrics["vtime"] - requesting_cpu - serving_cpu
+    return {
+        "requesting_site_cpu": requesting_cpu,
+        "serving_site_cpu": serving_cpu,
+        "wire_time": wire_time,
+        "total_vtime": metrics["vtime"],
+        "messages": metrics["messages"],
+        "by_type": metrics["by_type"],
+    }
+
+
+@pytest.mark.benchmark(group="F1")
+def test_f1_remote_syscall_timeline(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        "Figure 1: one open+read+close requiring foreign service",
+        ["phase", "virtual time"],
+        [
+            ["requesting site processing", out["requesting_site_cpu"]],
+            ["network transmission", out["wire_time"]],
+            ["serving site processing", out["serving_site_cpu"]],
+            ["total elapsed", out["total_vtime"]],
+        ])
+    print_table("message sequence", ["message", "count"],
+                sorted(out["by_type"].items()))
+    # The kernel sleeps while the serving site works: both sites contribute
+    # real processing, plus wire time; nothing is free.
+    assert out["requesting_site_cpu"] > 0
+    assert out["serving_site_cpu"] > 0
+    assert out["wire_time"] > 0
+    # open (2: CSS local at US? no — CSS is site 0, file at 1: CSS->SS poll
+    # = 2 msgs) + read (2) + close (4-msg chain collapses: CSS at US side).
+    assert out["messages"] >= 6

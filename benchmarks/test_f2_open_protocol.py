@@ -1,0 +1,65 @@
+"""F2 — Figure 2: the open protocol and its optimized collapses.
+
+The general open is four messages (US->CSS, CSS->SS, SS->CSS, CSS->US); each
+role collapse removes messages, down to zero when all three logical sites
+are one physical site.  The benchmark regenerates the message count for
+every placement and the open latency alongside.
+"""
+
+import pytest
+
+from repro import LocusCluster, Mode
+from _harness import Measure, print_table, run_experiment
+
+
+def _open_case(cluster, us, store_at, label):
+    shell = cluster.shell(store_at)
+    shell.setcopies(1)
+    path = f"/file-{label}"
+    shell.write_file(path, b"x")
+    cluster.settle()
+    gfile = (0, shell.stat(path)["ino"])
+    fs = cluster.site(us).fs
+    m = Measure(cluster)
+    handle = cluster.call(us, fs.open_gfile(gfile, Mode.READ))
+    metrics = m.done()
+    cluster.call(us, fs.close(handle))
+    cluster.settle()
+    protocol_msgs = sum(v for k, v in metrics["by_type"].items()
+                        if k.startswith(("fs.css_open", "fs.ss_open")))
+    return {"label": label, "messages": protocol_msgs,
+            "latency": metrics["vtime"]}
+
+
+def _experiment():
+    cluster = LocusCluster(n_sites=3, seed=2)   # CSS for the root fg: site 0
+    cases = [
+        # (using site, storage site, description)
+        (0, 0, "US=CSS=SS (all local)"),
+        (0, 1, "US=CSS, SS remote"),
+        (1, 0, "CSS=SS, US remote"),
+        (1, 1, "US=SS, CSS remote"),
+        (1, 2, "general: US, CSS, SS distinct"),
+    ]
+    return {"rows": [_open_case(cluster, us, at, label)
+                     for us, at, label in cases]}
+
+
+@pytest.mark.benchmark(group="F2")
+def test_f2_open_protocol_messages(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    rows = out["rows"]
+    print_table(
+        "Figure 2: open protocol messages by role placement",
+        ["placement", "messages", "open latency (vtime)"],
+        [[r["label"], r["messages"], r["latency"]] for r in rows])
+    by_label = {r["label"]: r for r in rows}
+    assert by_label["US=CSS=SS (all local)"]["messages"] == 0
+    assert by_label["US=CSS, SS remote"]["messages"] == 2
+    assert by_label["CSS=SS, US remote"]["messages"] == 2
+    assert by_label["US=SS, CSS remote"]["messages"] == 2
+    assert by_label["general: US, CSS, SS distinct"]["messages"] == 4
+    # Latency orders with message count.
+    assert by_label["US=CSS=SS (all local)"]["latency"] < \
+        by_label["US=CSS, SS remote"]["latency"] < \
+        by_label["general: US, CSS, SS distinct"]["latency"]

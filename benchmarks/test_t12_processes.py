@@ -1,0 +1,65 @@
+"""T12 — section 3.1: remote process creation.
+
+"Run avoids the copy of the parent process image which occurs with fork."
+Series: remote fork cost vs parent image size (it grows), remote run cost
+vs parent image size (it stays flat), plus local-vs-remote process
+creation.
+"""
+
+import pytest
+
+from repro import LocusCluster
+from repro.proc.process import Image
+from _harness import Measure, print_table, run_experiment
+
+
+def _creation_cost(data_pages, use_run):
+    cluster = LocusCluster(n_sites=2, seed=140)
+
+    def noop(api):
+        return 0
+        yield  # pragma: no cover
+
+    cluster.register_program("noop", noop)
+    sh = cluster.shell(0)
+    sh.mkdir("/bin")
+    sh.install_program("/bin/noop", "noop")
+    cluster.settle()
+    sh.proc.image = Image(program="shell", data_pages=data_pages)
+    m = Measure(cluster)
+    t0 = cluster.sim.now
+    if use_run:
+        sh.run("/bin/noop", dest=1)
+    else:
+        sh.fork(None, dest=1)
+    elapsed = cluster.sim.now - t0
+    metrics = m.done()
+    return elapsed, metrics["bytes"]
+
+
+def _experiment():
+    rows = []
+    for pages in (8, 64, 256):
+        fork_t, fork_b = _creation_cost(pages, use_run=False)
+        run_t, run_b = _creation_cost(pages, use_run=True)
+        rows.append([pages, fork_t, fork_b, run_t, run_b])
+    return {"rows": rows}
+
+
+@pytest.mark.benchmark(group="T12")
+def test_t12_fork_vs_run(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        "T12: remote process creation vs parent image size",
+        ["image data pages", "fork vtime", "fork bytes",
+         "run vtime", "run bytes"],
+        out["rows"])
+    rows = out["rows"]
+    fork_times = [r[1] for r in rows]
+    run_times = [r[3] for r in rows]
+    # Fork cost scales with the image...
+    assert fork_times[-1] > 5 * fork_times[0], fork_times
+    # ...while run stays flat (within 30%) regardless of the parent image.
+    assert run_times[-1] < 1.3 * run_times[0], run_times
+    # At large images, run beats fork decisively.
+    assert rows[-1][3] < rows[-1][1] / 5

@@ -1,0 +1,82 @@
+"""T2 — section 2.2.1 footnote: "In the LOCUS system, which is highly
+optimized for remote access, the cpu overhead of accessing a remote page is
+twice local access, and the cost of a remote open is significantly more than
+the case when the entire open can be done locally."
+
+We measure processing cost (CPU + disk service charged at the sites; wire
+propagation excluded) for page access and for opens, local vs remote.
+"""
+
+import pytest
+
+from repro import LocusCluster, Mode
+from _harness import Measure, print_table, run_experiment
+
+
+def _page_cost(cluster, us, gfile, mode=Mode.READ):
+    fs = cluster.site(us).fs
+    handle = cluster.call(us, fs.open_gfile(gfile, mode))
+    cluster.site(us).cache.invalidate_file(*gfile)   # cold page
+    m = Measure(cluster)
+    cluster.call(us, fs.read(handle, 0, cluster.config.cost.page_size))
+    cost = m.done()["cpu_total"]
+    cluster.call(us, fs.close(handle))
+    return cost
+
+
+def _open_cost(cluster, us, gfile):
+    fs = cluster.site(us).fs
+    m = Measure(cluster)
+    handle = cluster.call(us, fs.open_gfile(gfile, Mode.READ))
+    cost = m.done()["cpu_total"]
+    cluster.call(us, fs.close(handle))
+    return cost
+
+
+def _experiment():
+    cluster = LocusCluster(n_sites=3, seed=4)
+    psz = cluster.config.cost.page_size
+    sh0, sh2 = cluster.shell(0), cluster.shell(2)
+    sh0.write_file("/local", b"L" * psz)             # at site 0 (CSS too)
+    sh2.write_file("/remote", b"R" * psz)            # at site 2
+    cluster.settle()
+    g_local = (0, sh0.stat("/local")["ino"])
+    g_remote = (0, sh0.stat("/remote")["ino"])
+
+    # Cold caches for fair disk accounting.
+    for s in cluster.sites:
+        s.cache.clear()
+    local_page = _page_cost(cluster, 0, g_local)
+    for s in cluster.sites:
+        s.cache.clear()
+    remote_page = _page_cost(cluster, 0, g_remote)
+
+    local_open = _open_cost(cluster, 0, g_local)
+    remote_open = _open_cost(cluster, 1, g_remote)   # US, CSS, SS distinct
+
+    return {
+        "local_page": local_page,
+        "remote_page": remote_page,
+        "page_ratio": remote_page / local_page,
+        "local_open": local_open,
+        "remote_open": remote_open,
+        "open_ratio": remote_open / local_open,
+    }
+
+
+@pytest.mark.benchmark(group="T2")
+def test_t2_remote_access_overhead(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        "T2: processing cost, local vs remote (section 2.2.1 footnote)",
+        ["operation", "local", "remote", "remote/local"],
+        [
+            ["page access", out["local_page"], out["remote_page"],
+             out["page_ratio"]],
+            ["open", out["local_open"], out["remote_open"],
+             out["open_ratio"]],
+        ])
+    # "the cpu overhead of accessing a remote page is twice local access"
+    assert 1.6 <= out["page_ratio"] <= 2.6, out["page_ratio"]
+    # "the cost of a remote open is significantly more"
+    assert out["open_ratio"] > 3.0, out["open_ratio"]

@@ -1,0 +1,84 @@
+"""T4 — section 2.2.1: replication improves read performance (a copy near
+the reader) and availability (survival under site failures); update cost
+grows with the replication factor.
+
+Three series over replication factor 1..4 on a 4-site network:
+  * read latency at a site that may or may not hold a copy,
+  * fraction of files still readable under every single-site failure,
+  * update (write+commit+propagate) cost.
+"""
+
+import pytest
+
+from repro import LocusCluster
+from repro.errors import FsError, NetworkError
+from _harness import print_table, run_experiment
+
+N_SITES = 4
+
+
+def _experiment():
+    size = 8192
+    rows = []
+    for rf in (1, 2, 3, 4):
+        cluster = LocusCluster(n_sites=N_SITES, seed=60 + rf)
+        sh0 = cluster.shell(0)
+        sh0.setcopies(rf)
+        sh0.write_file("/data", b"d" * size)
+        cluster.settle()
+
+        # Read latency at the last site (holds a copy only at rf=4).
+        reader = cluster.shell(N_SITES - 1)
+        t0 = cluster.sim.now
+        assert len(reader.read_file("/data")) == size
+        read_latency = cluster.sim.now - t0
+
+        # Availability: for each single-site crash, is the file readable
+        # from some surviving site?
+        survivals = 0
+        trials = 0
+        for dead in range(N_SITES):
+            probe_cluster = LocusCluster(n_sites=N_SITES, seed=60 + rf)
+            psh = probe_cluster.shell(0)
+            psh.setcopies(rf)
+            psh.write_file("/data", b"d" * size)
+            probe_cluster.settle()
+            probe_cluster.fail_site(dead)
+            alive = [s for s in range(N_SITES) if s != dead]
+            try:
+                data = probe_cluster.shell(alive[0]).read_file("/data")
+                survivals += len(data) == size
+            except (FsError, NetworkError):
+                pass
+            trials += 1
+        availability = survivals / trials
+
+        # Update cost: write and let propagation finish.
+        t1 = cluster.sim.now
+        sh0.write_file("/data", b"e" * size)
+        cluster.settle()
+        update_cost = cluster.sim.now - t1
+
+        rows.append([rf, read_latency, availability, update_cost])
+    return {"rows": rows}
+
+
+@pytest.mark.benchmark(group="T4")
+def test_t4_replication_tradeoffs(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        "T4: replication factor tradeoffs (4 sites; reader at site 3)",
+        ["copies", "remote-reader latency", "availability (1 crash)",
+         "update+propagate vtime"],
+        out["rows"])
+    by_rf = {row[0]: row for row in out["rows"]}
+    # Fully replicated: the reader has a local copy and reads faster — "in
+    # a high speed local network it is still significant" (section 2.2.1);
+    # readahead hides part of the remote latency, as in the real system.
+    assert by_rf[4][1] < 0.8 * by_rf[1][1]
+    # Availability rises monotonically with the replication factor.
+    avail = [row[2] for row in out["rows"]]
+    assert all(a <= b for a, b in zip(avail, avail[1:]))
+    assert avail[-1] == 1.0
+    # Updates get more expensive as more copies must be brought current.
+    assert by_rf[4][3] > by_rf[1][3]

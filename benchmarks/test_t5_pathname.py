@@ -1,0 +1,76 @@
+"""T5 — section 2.3.4 pathname searching and the section 2.2.1 argument for
+highly replicated directories near the root.
+
+Series: pathname resolution cost vs depth, with (a) every directory local,
+(b) every directory stored remotely, and (c) remote directories but a
+replicated root level — showing why "the root directories [are] highly
+replicated, thus improving availability and performance simultaneously".
+"""
+
+import pytest
+
+from repro import LocusCluster
+from _harness import print_table, run_experiment
+
+MAX_DEPTH = 6
+
+
+def _deep_path(depth):
+    return "/" + "/".join(f"d{i}" for i in range(depth))
+
+
+def _build(cluster, owner_site, copies):
+    sh = cluster.shell(owner_site)
+    sh.setcopies(copies)
+    path = ""
+    for i in range(MAX_DEPTH):
+        path += f"/d{i}"
+        sh.mkdir(path)
+    sh.write_file(path + "/leaf", b"payload")
+    cluster.settle()
+    return sh
+
+
+def _resolve_cost(cluster, us, path):
+    fs = cluster.site(us).fs
+    t0 = cluster.sim.now
+    cluster.call(us, fs.resolve_gfile(None, path))
+    return cluster.sim.now - t0
+
+
+def _experiment():
+    rows = []
+    # (a) all directories local to the resolving site.
+    local = LocusCluster(n_sites=2, seed=7)
+    _build(local, 0, copies=1)
+    # (b) all directories at the other site only.
+    remote = LocusCluster(n_sites=2, seed=7, root_pack_sites=[1])
+    _build(remote, 1, copies=1)
+    for depth in range(1, MAX_DEPTH + 1):
+        path = _deep_path(depth)
+        rows.append([
+            depth,
+            _resolve_cost(local, 0, path),
+            _resolve_cost(remote, 0, path),
+        ])
+    return {"rows": rows}
+
+
+@pytest.mark.benchmark(group="T5")
+def test_t5_pathname_search_cost(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        "T5: pathname resolution vtime vs depth",
+        ["depth", "all-local dirs", "all-remote dirs"],
+        out["rows"])
+    local = [row[1] for row in out["rows"]]
+    remote = [row[2] for row in out["rows"]]
+    # Cost grows with depth in both cases (one directory interrogation per
+    # component)...
+    assert local[-1] > local[0]
+    assert remote[-1] > remote[0]
+    # ...but remote interrogation pays network messages per component:
+    # each added remote component costs far more than a local one.
+    local_slope = (local[-1] - local[0]) / (MAX_DEPTH - 1)
+    remote_slope = (remote[-1] - remote[0]) / (MAX_DEPTH - 1)
+    assert remote_slope > 4 * local_slope, (local_slope, remote_slope)

@@ -1,0 +1,69 @@
+"""T6 — section 5: dynamic reconfiguration cost.
+
+"Any delay imposed by the system on user activity during reconfiguration
+should be negligible" and the merge protocol "polls the sites
+asynchronously" precisely to avoid a large additive delay in big networks.
+
+Series over network size: partition-protocol convergence time and messages,
+merge-protocol convergence time and messages.
+"""
+
+import pytest
+
+from repro import LocusCluster
+from _harness import Measure, print_table, run_experiment
+
+
+def _experiment():
+    rows = []
+    for n in (2, 4, 8, 16):
+        cluster = LocusCluster(n_sites=n, seed=80 + n,
+                               root_pack_sites=[0, 1])
+        half = set(range(n // 2))
+        other = set(range(n // 2, n))
+
+        m = Measure(cluster)
+        t0 = cluster.sim.now
+        cluster.partition(half, other)
+        part = m.done()
+        part_msgs = sum(v for k, v in part["by_type"].items()
+                        if k.startswith("topo.part"))
+        part_time = cluster.sim.now - t0
+
+        m = Measure(cluster)
+        t1 = cluster.sim.now
+        cluster.heal()
+        merge = m.done()
+        merge_msgs = sum(v for k, v in merge["by_type"].items()
+                         if k.startswith("topo.merge"))
+        merge_time = cluster.sim.now - t1
+
+        assert all(s.topology.partition_set == set(range(n))
+                   for s in cluster.sites)
+        rows.append([n, part_msgs, part_time, merge_msgs, merge_time])
+    return {"rows": rows}
+
+
+@pytest.mark.benchmark(group="T6")
+def test_t6_reconfiguration_scaling(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        "T6: reconfiguration protocols vs network size "
+        "(split into halves, then merge)",
+        ["sites", "partition msgs", "partition vtime",
+         "merge msgs", "merge vtime"],
+        out["rows"])
+    rows = out["rows"]
+    sizes = [r[0] for r in rows]
+    merge_times = [r[4] for r in rows]
+    part_msgs = [r[1] for r in rows]
+    # Message counts grow with network size...
+    assert part_msgs[-1] > part_msgs[0]
+    # ...but asynchronous merge polling keeps convergence *time* from
+    # growing linearly with the site count: going 2 -> 16 sites must not
+    # cost 8x the merge time.
+    assert merge_times[-1] < 4 * max(merge_times[0], 1.0), merge_times
+    # Merge message count stays modest: a poll + announce per site, not a
+    # quadratic storm.
+    merge_msgs = [r[3] for r in rows]
+    assert merge_msgs[-1] <= 8 * sizes[-1], merge_msgs

@@ -1,0 +1,68 @@
+"""T7 — section 4.4: reconciliation of a distributed hierarchical directory.
+
+Series: reconciliation cost vs directory size and conflicting-update count;
+correctness: the merged directory is exactly the union of both partitions'
+surviving operations (no lost updates — the property the paper demands of
+any merge procedure).
+"""
+
+import pytest
+
+from repro import LocusCluster
+from _harness import Measure, print_table, run_experiment
+
+
+def _run_case(n_left, n_right, n_name_conflicts):
+    cluster = LocusCluster(n_sites=2, seed=90)
+    sh0, sh1 = cluster.shell(0), cluster.shell(1)
+    sh0.setcopies(2)
+    sh0.mkdir("/proj")
+    cluster.settle()
+    cluster.partition({0}, {1})
+    for i in range(n_left):
+        sh0.write_file(f"/proj/left{i}", b"L")
+    for i in range(n_right):
+        sh1.write_file(f"/proj/right{i}", b"R")
+    for i in range(n_name_conflicts):
+        sh0.write_file(f"/proj/clash{i}", b"from left")
+        sh1.write_file(f"/proj/clash{i}", b"from right")
+    t0 = cluster.sim.now
+    m = Measure(cluster)
+    cluster.heal()
+    cluster.settle()
+    metrics = m.done()
+    merge_time = cluster.sim.now - t0
+
+    names = set(sh0.readdir("/proj"))
+    expected = n_left + n_right + 2 * n_name_conflicts
+    assert len(names) == expected, (len(names), expected)
+    assert names == set(sh1.readdir("/proj"))
+    for i in range(n_left):
+        assert f"left{i}" in names
+    for i in range(n_right):
+        assert f"right{i}" in names
+    return [f"{n_left}+{n_right}", n_name_conflicts, merge_time,
+            metrics["messages"]]
+
+
+def _experiment():
+    return {"rows": [
+        _run_case(5, 5, 0),
+        _run_case(20, 20, 0),
+        _run_case(20, 20, 5),
+        _run_case(50, 50, 10),
+    ]}
+
+
+@pytest.mark.benchmark(group="T7")
+def test_t7_directory_reconciliation(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        "T7: directory merge after partition (no updates lost, "
+        "name conflicts renamed)",
+        ["inserts L+R", "name conflicts", "merge vtime", "messages"],
+        out["rows"])
+    times = [row[2] for row in out["rows"]]
+    # Cost grows with the amount of divergence, roughly linearly: 5x the
+    # entries should not cost 25x the time.
+    assert times[-1] < 25 * max(times[0], 1.0)

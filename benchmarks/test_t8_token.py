@@ -1,0 +1,80 @@
+"""T8 — section 3.2: the shared-descriptor token mechanism.
+
+"While in the worst case, performance is limited by the speed at which the
+tokens and their associated resources can be flipped back and forth among
+processes on different machines, such extreme behavior is exceedingly rare.
+Virtually all processes read and write substantial amounts of data per
+system call.  As a result, most collections of Unix processes designed to
+execute on a single machine run very well when distributed on LOCUS."
+
+We regenerate both regimes: two processes on two sites alternating tiny
+reads on one shared descriptor (worst case) vs the same total data moved in
+large reads (the common case).
+"""
+
+import pytest
+
+from repro import LocusCluster
+from _harness import Measure, print_table, run_experiment
+
+TOTAL_BYTES = 2048
+
+
+def _alternating(chunk):
+    cluster = LocusCluster(n_sites=2, seed=100)
+    sh = cluster.shell(0)
+    sh.write_file("/stream", b"s" * TOTAL_BYTES)
+    cluster.settle()
+    fd = sh.open("/stream")
+    consumed = []
+
+    def child(api, cfd, n):
+        data = yield from api.read(cfd, n)
+        consumed.append(data)
+        return 0
+
+    m = Measure(cluster)
+    t0 = cluster.sim.now
+    remaining = TOTAL_BYTES
+    while remaining > 0:
+        got = sh.read(fd, chunk)               # parent at site 0
+        remaining -= len(got)
+        if remaining <= 0:
+            break
+        sh.fork(child, args=(fd, chunk), dest=1)   # child at site 1
+        sh.wait()
+        remaining -= chunk
+    metrics = m.done()
+    elapsed = cluster.sim.now - t0
+    sh.close(fd)
+    token_msgs = sum(v for k, v in metrics["by_type"].items()
+                     if k.startswith("proc.token"))
+    return elapsed, token_msgs
+
+
+def _experiment():
+    rows = []
+    for chunk, label in ((16, "16 B (worst case ping-pong)"),
+                         (128, "128 B"),
+                         (1024, "1 KiB (substantial per call)")):
+        elapsed, token_msgs = _alternating(chunk)
+        rows.append([label, elapsed, token_msgs,
+                     elapsed / TOTAL_BYTES * 1000])
+    return {"rows": rows}
+
+
+@pytest.mark.benchmark(group="T8")
+def test_t8_token_flipping(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        f"T8: shared file descriptor across 2 sites, {TOTAL_BYTES} bytes "
+        f"total",
+        ["bytes per syscall", "vtime", "token messages",
+         "vtime per KB"],
+        out["rows"])
+    per_kb = [row[3] for row in out["rows"]]
+    tokens = [row[2] for row in out["rows"]]
+    # Worst-case flipping is far slower per byte than substantial reads...
+    assert per_kb[0] > 10 * per_kb[-1], per_kb
+    # ...because the token (and its open) crosses the network per syscall.
+    assert tokens[0] > 10 * max(tokens[-1], 1), tokens

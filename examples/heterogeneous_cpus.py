@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Hidden directories: one command name, many machine types (section 2.4.1).
+
+"In a LOCUS net containing both DEC PDP-11/45s and DEC VAX 750s, a user
+would want to type the same command name on either type of machine and get
+a similar service."  /bin/who is a hidden directory holding one load module
+per cpu type; pathname search substitutes the process's machine-type
+context, so the right module runs everywhere — including when the command
+is transparently executed on a *remote* machine of a different type.
+"""
+
+from repro import LocusCluster
+
+
+def who_vax(api):
+    yield from api.write_file(
+        f"/tmp/who-{api.getpid()}",
+        f"who (VAX build) on site {api.site.site_id}\n".encode())
+    return 0
+
+
+def who_pdp(api):
+    yield from api.write_file(
+        f"/tmp/who-{api.getpid()}",
+        f"who (PDP-11 build) on site {api.site.site_id}\n".encode())
+    return 0
+
+
+def main():
+    cluster = LocusCluster(n_sites=3, seed=5)
+    cluster.set_cpu_type(0, "vax")
+    cluster.set_cpu_type(1, "pdp11")
+    cluster.set_cpu_type(2, "vax")
+    cluster.register_program("who.vax", who_vax)
+    cluster.register_program("who.pdp11", who_pdp)
+
+    admin = cluster.shell(0)
+    admin.setcopies(3)
+    admin.mkdir("/bin")
+    admin.mkdir("/tmp")
+    print("Creating /bin/who as a hidden directory with per-cpu entries...")
+    admin.mkdir("/bin/who", hidden=True)
+    admin.set_hidden_visible(True)          # the escape mechanism
+    admin.install_program("/bin/who/vax", "who.vax", cpu="vax")
+    admin.install_program("/bin/who/pdp11", "who.pdp11", cpu="pdp11")
+    print("  escape view of /bin/who:", admin.readdir("/bin/who"))
+    admin.set_hidden_visible(False)
+    cluster.settle()
+
+    print("\nRunning the *same* command name on each machine type:")
+    for dest in (0, 1, 2):
+        pid = admin.run("/bin/who", dest=dest)
+        admin.wait()
+        out = admin.read_file(f"/tmp/who-{pid}").decode().strip()
+        cpu = cluster.site(dest).cpu_type
+        print(f"  site {dest} ({cpu:6}): {out}")
+
+    print("\nThe caller never said which build to use; pathname search "
+          "matched the hidden directory against each executing site's "
+          "machine-type context.")
+
+
+if __name__ == "__main__":
+    main()

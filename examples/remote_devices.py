@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Transparent remote devices (paper section 2.4.2).
+
+The department's one line printer hangs off site 2 and the nine-track tape
+drive off site 1.  Device nodes live in the single naming tree, so any
+process anywhere opens /dev/lp0 or /dev/mt0 with ordinary system calls;
+LOCUS routes the i/o to the hardware's site.  The one exception the paper
+allows — raw, non-character devices — is refused remotely with advice to
+run a process at the hosting site instead.
+"""
+
+from collections import deque
+
+from repro import LocusCluster
+from repro.errors import EACCES
+
+
+def main():
+    cluster = LocusCluster(n_sites=3, seed=3)
+
+    # Wire the hardware.
+    printed = []
+    cluster.site(2).proc.devices.register(
+        "lp0", write_fn=lambda data: printed.append(data) or len(data))
+    tape_blocks = deque([b"payroll-1979.tar|", b"payroll-1980.tar|"])
+    cluster.site(1).proc.devices.register(
+        "mt0", read_fn=lambda n: tape_blocks.popleft() if tape_blocks
+        else b"")
+    cluster.site(1).proc.devices.register(
+        "rmt0", read_fn=lambda n: b"", character=False)   # raw interface
+
+    admin = cluster.shell(0)
+    admin.setcopies(3)
+    admin.mkdir("/dev")
+    admin.mknod_device("/dev/lp0", host=2, device="lp0")
+    admin.mknod_device("/dev/mt0", host=1, device="mt0")
+    admin.mknod_device("/dev/rmt0", host=1, device="rmt0", character=False)
+    cluster.settle()
+    print("device nodes:", admin.readdir("/dev"))
+
+    print("\nA user at site 0 copies the tape to the printer — neither "
+          "device is local:")
+    src = admin.open("/dev/mt0")
+    dst = admin.open("/dev/lp0", "w")
+    while True:
+        block = admin.read(src, 4096)
+        if not block:
+            break
+        admin.write(dst, block)
+    admin.close(src)
+    admin.close(dst)
+    print("  printer output:", b"".join(printed).decode())
+
+    print("\nThe raw interface refuses remote use, as the paper specifies:")
+    try:
+        admin.open("/dev/rmt0")
+    except EACCES as exc:
+        print(f"  {exc}")
+
+    print("\n...so run the dump program *at* the hosting site instead:")
+    def dumper(api):
+        fd = yield from api.open("/dev/rmt0")
+        yield from api.close(fd)
+        yield from api.write_file("/dump-done",
+                                  f"dumped at site {api.site.site_id}"
+                                  .encode())
+        return 0
+
+    admin.fork(dumper, dest=1)
+    admin.wait()
+    print(" ", admin.read_file("/dump-done").decode())
+
+
+if __name__ == "__main__":
+    main()

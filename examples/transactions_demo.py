@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Nested transactions over replicated distributed files ([MEUL 83]).
+
+A funds transfer touches two account files stored on different machines; a
+nested sub-transaction applies a fee that can be rolled back independently.
+The whole transfer commits or aborts as one unit — and a network partition
+mid-transaction aborts the stranded work instead of leaving half a
+transfer (section 5.6: "abort all related subtransactions in partition").
+"""
+
+from repro import LocusCluster
+from repro.errors import TxAborted
+
+
+def balance(shell, path):
+    return int(shell.read_file(path).decode())
+
+
+def main():
+    cluster = LocusCluster(n_sites=3, seed=13)
+    teller = cluster.shell(0, user="teller")
+    # Two accounts, stored at two different sites.
+    cluster.shell(1).write_file("/acct-a", b"1000")
+    cluster.shell(2).write_file("/acct-b", b"0200")
+    cluster.settle()
+    a = (0, teller.stat("/acct-a")["ino"])
+    b = (0, teller.stat("/acct-b")["ino"])
+    tm = cluster.site(0).tx
+
+    print("balances: a=%d b=%d" % (balance(teller, "/acct-a"),
+                                   balance(teller, "/acct-b")))
+
+    print("\n-- transfer 300 from a to b, with a nested fee that aborts --")
+    tx = tm.begin()
+    cluster.call(0, tm.write(tx, a, 0, b"0700"))     # 1000 - 300
+    cluster.call(0, tm.write(tx, b, 0, b"0500"))     # 200 + 300
+    fee = tm.begin(parent=tx)
+    cluster.call(0, tm.write(fee, a, 0, b"0690"))    # a 10-unit fee...
+    cluster.call(0, tm.abort(fee))                   # ...waived!
+    cluster.call(0, tm.commit(tx))
+    cluster.settle()
+    print("after commit: a=%d b=%d (fee sub-transaction rolled back)"
+          % (balance(teller, "/acct-a"), balance(teller, "/acct-b")))
+
+    print("\n-- a transfer interrupted by a partition --")
+    tx2 = tm.begin()
+    cluster.call(0, tm.write(tx2, a, 0, b"0100"))
+    cluster.call(0, tm.write(tx2, b, 0, b"1100"))
+    print("   staged: a=0100 b=1100 (uncommitted)")
+    print("   *** the network partitions: {0} | {1, 2} ***")
+    cluster.partition({0}, {1, 2})
+    print("   transaction state:", tx2.state.value)
+    try:
+        cluster.call(0, tm.commit(tx2))
+    except TxAborted as exc:
+        print(f"   commit refused: {exc}")
+    cluster.heal()
+    print("after heal: a=%d b=%d (no partial transfer survived)"
+          % (balance(teller, "/acct-a"), balance(teller, "/acct-b")))
+
+
+if __name__ == "__main__":
+    main()

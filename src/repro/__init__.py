@@ -1,0 +1,40 @@
+"""repro — a simulation-based reproduction of the LOCUS distributed
+operating system (Walker, Popek, English, Kline, Thiel; SOSP 1983).
+
+Quickstart::
+
+    from repro import LocusCluster
+
+    cluster = LocusCluster(n_sites=3)
+    sh = cluster.shell(0)             # a user logged into site 0
+    sh.mkdir("/tmp")
+    sh.write_file("/tmp/hello", b"transparent!")
+    remote = cluster.shell(2)         # names work identically everywhere
+    assert remote.read_file("/tmp/hello") == b"transparent!"
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of the paper's figures and quantified claims.
+"""
+
+from repro.config import ClusterConfig, CostModel
+from repro.core.cluster import LocusCluster
+from repro.core.syscalls import Shell
+from repro.fs.types import Mode
+from repro.proc.process import Signal
+from repro.storage.inode import FileType
+from repro.storage.version_vector import Ordering, VersionVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "LocusCluster",
+    "Shell",
+    "Mode",
+    "Signal",
+    "FileType",
+    "Ordering",
+    "VersionVector",
+    "__version__",
+]

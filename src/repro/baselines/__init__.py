@@ -1,0 +1,19 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.unixfs` — a conventional single-machine Unix
+  filesystem on the same storage substrate and cost model, for the paper's
+  claim that "when resources are local, access is no more expensive than on
+  a conventional Unix system" (section 2.1).
+* :mod:`repro.baselines.layered` — a traditional layered file-transfer
+  protocol (whole-file staging, per-packet acknowledgements, a multi-layer
+  protocol stack), for the claim that LOCUS remote access is "dramatically
+  better than traditional layered file transfer and remote terminal
+  protocols permit" (section 2.1); the footnote in 2.3.3 attributes LOCUS's
+  performance to the *absence* of "multilayered support and error handling,
+  such as suggested by the ISO standard".
+"""
+
+from repro.baselines.unixfs import UnixFs
+from repro.baselines.layered import LayeredTransferService
+
+__all__ = ["UnixFs", "LayeredTransferService"]

@@ -1,0 +1,152 @@
+"""Traditional layered file-transfer remote access baseline.
+
+Models the pre-LOCUS way of using a remote file: establish a session through
+a multi-layer protocol stack, *stage the whole file across*, operate on the
+local copy, and (if modified) ship the whole file back.  Each packet pays
+per-layer processing at both ends plus a protocol-level acknowledgement
+round trip — exactly the "multilayered support and error handling, such as
+suggested by the ISO standard" whose absence the paper credits for LOCUS's
+performance (section 2.3.3 footnote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import ENOENT
+
+# Session + transport + presentation round trips before any data moves.
+HANDSHAKE_ROUNDTRIPS = 3
+# Protocol layers each packet traverses at each end.
+PROTOCOL_LAYERS = 4
+
+
+@dataclass
+class TransferStats:
+    files_fetched: int = 0
+    files_written_back: int = 0
+    pages_transferred: int = 0
+    handshakes: int = 0
+
+
+class LayeredTransferService:
+    """Installs 'layered protocol' handlers on every site of a cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.stats = TransferStats()
+        for site in cluster.sites:
+            site.register_handler("lay.handshake", self._h_handshake)
+            site.register_handler("lay.get_meta", self._h_get_meta)
+            site.register_handler("lay.get_page", self._h_get_page)
+            site.register_handler("lay.put_page", self._h_put_page)
+
+    # -- server side --------------------------------------------------------
+
+    def _h_handshake(self, src: int, p: dict) -> Generator:
+        site = self.cluster.site(p["server"])
+        yield from site.cpu(site.cost.cpu_msg * PROTOCOL_LAYERS)
+        return {"session": True}
+
+    def _meta(self, server: int, gfile):
+        pack = self.cluster.site(server).packs.get(gfile[0])
+        inode = pack.get_inode(gfile[1]) if pack else None
+        if inode is None or not inode.has_data:
+            raise ENOENT(f"{gfile} not stored at site {server}")
+        return inode
+
+    def _h_get_meta(self, src: int, p: dict) -> Generator:
+        inode = self._meta(p["server"], p["gfile"])
+        site = self.cluster.site(p["server"])
+        yield from site.cpu(site.cost.cpu_msg * PROTOCOL_LAYERS)
+        return {"size": inode.size}
+
+    def _h_get_page(self, src: int, p: dict) -> Generator:
+        site = self.cluster.site(p["server"])
+        inode = self._meta(p["server"], p["gfile"])
+        page = p["page"]
+        blockno = inode.pages[page] if page < len(inode.pages) else None
+        pack = site.packs[p["gfile"][0]]
+        data = pack.read_block(blockno) if blockno is not None else b""
+        yield from site.cpu(site.cost.disk_read)
+        # Per-layer packetization cost at the server.
+        yield from site.cpu(site.cost.cpu_msg * PROTOCOL_LAYERS)
+        return data
+
+    def _h_put_page(self, src: int, p: dict) -> Generator:
+        site = self.cluster.site(p["server"])
+        yield from site.cpu(site.cost.cpu_msg * PROTOCOL_LAYERS)
+        # The baseline writes in place (no shadow atomicity!).
+        pack = site.packs[p["gfile"][0]]
+        inode = pack.get_inode(p["gfile"][1])
+        page = p["page"]
+        while len(inode.pages) <= page:
+            inode.pages.append(None)
+        if inode.pages[page] is None:
+            inode.pages[page] = pack.alloc_block()
+        pack.write_block(inode.pages[page], p["data"])
+        inode.size = max(inode.size, p["size"])
+        yield from site.cpu(site.cost.disk_write)
+        site.cache.invalidate_file(*p["gfile"])
+        return None
+
+    # -- client side --------------------------------------------------------
+
+    def fetch_file(self, us: int, server: int, gfile) -> Generator:
+        """Stage a whole remote file to the using site; returns its bytes.
+
+        The per-packet protocol ACK is a full request/response round trip,
+        and every packet pays the layer stack at both ends.
+        """
+        site = self.cluster.site(us)
+        self.stats.handshakes += 1
+        for __ in range(HANDSHAKE_ROUNDTRIPS):
+            yield from site.cpu(site.cost.cpu_msg * PROTOCOL_LAYERS)
+            yield from site.rpc(server, "lay.handshake", {"server": server})
+        meta = yield from site.rpc(server, "lay.get_meta",
+                                   {"server": server, "gfile": gfile})
+        psz = site.cost.page_size
+        n_pages = (meta["size"] + psz - 1) // psz
+        chunks = []
+        for page in range(n_pages):
+            yield from site.cpu(site.cost.cpu_msg * PROTOCOL_LAYERS)
+            data = yield from site.rpc(server, "lay.get_page", {
+                "server": server, "gfile": gfile, "page": page,
+            })
+            chunks.append(data.ljust(psz, b"\x00"))
+            self.stats.pages_transferred += 1
+        self.stats.files_fetched += 1
+        return b"".join(chunks)[:meta["size"]]
+
+    def writeback_file(self, us: int, server: int, gfile,
+                       data: bytes) -> Generator:
+        """Ship the (whole) modified staging copy back to the server."""
+        site = self.cluster.site(us)
+        psz = site.cost.page_size
+        n_pages = (len(data) + psz - 1) // psz
+        for page in range(max(1, n_pages)):
+            yield from site.cpu(site.cost.cpu_msg * PROTOCOL_LAYERS)
+            yield from site.rpc(server, "lay.put_page", {
+                "server": server, "gfile": gfile, "page": page,
+                "data": data[page * psz:(page + 1) * psz],
+                "size": len(data),
+            })
+            self.stats.pages_transferred += 1
+        self.stats.files_written_back += 1
+        return None
+
+    def remote_session(self, us: int, server: int, gfile,
+                       touch_pages, modify: bool = False
+                       ) -> Generator:
+        """One complete remote-access session: stage, touch pages locally,
+        optionally write back.  Returns virtual time consumed is left to
+        the caller to measure."""
+        data = yield from self.fetch_file(us, server, gfile)
+        site = self.cluster.site(us)
+        for __ in touch_pages:
+            yield from site.cpu(site.cost.buffer_hit
+                                + site.cost.cpu_page_copy)
+        if modify:
+            yield from self.writeback_file(us, server, gfile, data)
+        return len(data)

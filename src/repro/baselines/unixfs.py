@@ -1,0 +1,321 @@
+"""A conventional single-machine Unix filesystem baseline.
+
+Runs on the same simulator, the same pack/shadow storage substrate and the
+same cost model as LOCUS, but with none of the distributed machinery: no
+CSS, no storage-site selection, no replication, no version vectors beyond
+what the substrate keeps.  This is the yardstick for experiment T1 ("local
+access is no more expensive than conventional Unix").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+import itertools
+
+from repro.config import CostModel
+from repro.errors import (EBADF, EEXIST, EINVAL, EISDIR, ENOENT, ENOTDIR,
+                          ENOTEMPTY)
+from repro.fs.directory import DirEntry, DirView, check_name, \
+    decode_entries, encode_entries
+from repro.sim.simulator import Simulator
+from repro.storage.buffer_cache import BufferCache
+from repro.storage.inode import FileType
+from repro.storage.pack import Pack, ROOT_INO
+from repro.storage.shadow import ShadowFile
+
+
+class _UnixHandle:
+    __slots__ = ("hid", "ino", "writable", "shadow", "offset", "closed")
+
+    def __init__(self, hid: int, ino: int, writable: bool,
+                 shadow: ShadowFile):
+        self.hid = hid
+        self.ino = ino
+        self.writable = writable
+        self.shadow = shadow
+        self.offset = 0
+        self.closed = False
+
+
+class UnixFs:
+    """A one-machine Unix-style filesystem with a generator syscall API.
+
+    All methods are kernel procedures; drive them with
+    ``sim.run_task(fs.op(...))``.
+    """
+
+    def __init__(self, sim: Simulator, cost: Optional[CostModel] = None,
+                 n_blocks: int = 1 << 16):
+        self.sim = sim
+        self.cost = cost or CostModel()
+        self.pack = Pack(gfs=0, site_id=0, pack_index=0, n_blocks=n_blocks)
+        self.cache = BufferCache(self.cost.buffer_pages)
+        self.cpu_used = 0.0
+        self._hids = itertools.count(1)
+        self.handles: Dict[int, _UnixHandle] = {}
+        root = self.pack.alloc_inode(ftype=FileType.DIRECTORY, perms=0o755)
+        assert root.ino == ROOT_INO
+        self._write_dir_now(root.ino, [
+            DirEntry(".", ROOT_INO, FileType.DIRECTORY),
+            DirEntry("..", ROOT_INO, FileType.DIRECTORY),
+        ])
+
+    # -- internals ---------------------------------------------------------
+
+    def _cpu(self, amount: float) -> Generator:
+        self.cpu_used += amount
+        yield amount
+
+    def _write_dir_now(self, ino: int, entries: List[DirEntry]) -> None:
+        """Format-time direct write (mkfs), no cost accounting."""
+        shadow = ShadowFile(self.pack, ino)
+        shadow.truncate()
+        data = encode_entries(entries)
+        psz = self.cost.page_size
+        for page in range((len(data) + psz - 1) // psz):
+            shadow.write_page(page, data[page * psz:(page + 1) * psz])
+        shadow.set_size(len(data))
+        shadow.commit()
+
+    def _read_page(self, inode, page: int) -> Generator:
+        key = (0, inode.ino, page)
+        cached = self.cache.get(key)
+        if cached is not None:
+            yield from self._cpu(self.cost.buffer_hit)
+            return cached
+        blockno = inode.pages[page] if page < len(inode.pages) else None
+        data = self.pack.read_block(blockno) if blockno is not None else b""
+        yield from self._cpu(self.cost.disk_read)
+        self.cache.put(key, data)
+        return data
+
+    def _read_inode_data(self, ino: int) -> Generator:
+        inode = self.pack.get_inode(ino)
+        if inode is None:
+            raise ENOENT(f"ino {ino}")
+        psz = self.cost.page_size
+        chunks = []
+        for page in range((inode.size + psz - 1) // psz):
+            data = yield from self._read_page(inode, page)
+            chunks.append(data.ljust(psz, b"\x00"))
+        return b"".join(chunks)[:inode.size]
+
+    def _dir_view(self, ino: int) -> Generator:
+        inode = self.pack.get_inode(ino)
+        if inode is None:
+            raise ENOENT(f"ino {ino}")
+        if inode.ftype is not FileType.DIRECTORY:
+            raise ENOTDIR(f"ino {ino}")
+        data = yield from self._read_inode_data(ino)
+        entries = decode_entries(data)
+        yield from self._cpu(self.cost.cpu_dir_entry * max(1, len(entries)))
+        return DirView(entries)
+
+    def _walk(self, path: str) -> Generator:
+        """Resolve; returns (parent_ino, name, child_ino or None)."""
+        if not path or not path.startswith("/"):
+            raise EINVAL(f"bad path {path!r}")
+        comps = [c for c in path.split("/") if c and c != "."]
+        current = ROOT_INO
+        if not comps:
+            return None, None, ROOT_INO
+        for i, comp in enumerate(comps):
+            view = yield from self._dir_view(current)
+            entry = view.lookup(comp) if comp != ".." else view.lookup("..")
+            last = i == len(comps) - 1
+            if entry is None:
+                if last:
+                    return current, comp, None
+                raise ENOENT(f"{comp!r} in {path!r}")
+            if last:
+                return current, comp, entry.ino
+            current = entry.ino
+        raise AssertionError("unreachable")
+
+    def _mutate_dir(self, dir_ino: int, mutate) -> Generator:
+        view = yield from self._dir_view(dir_ino)
+        result = mutate(view)
+        shadow = ShadowFile(self.pack, dir_ino)
+        shadow.truncate()
+        data = encode_entries(view.entries)
+        psz = self.cost.page_size
+        for page in range((len(data) + psz - 1) // psz):
+            shadow.write_page(page, data[page * psz:(page + 1) * psz])
+            yield from self._cpu(self.cost.disk_write)
+        shadow.set_size(len(data))
+        shadow.commit()
+        yield from self._cpu(self.cost.disk_write)
+        self.cache.invalidate_file(0, dir_ino)
+        return result
+
+    # -- syscalls ---------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r", create: bool = False,
+             trunc: bool = False) -> Generator:
+        yield from self._cpu(self.cost.cpu_syscall)
+        writable = "w" in mode
+        parent, name, ino = yield from self._walk(path)
+        if ino is None:
+            if not (create and writable):
+                raise ENOENT(path)
+            check_name(name)
+            inode = self.pack.alloc_inode()
+            ino = inode.ino
+            yield from self._cpu(self.cost.disk_write)
+            yield from self._mutate_dir(
+                parent, lambda v: v.insert(name, ino, FileType.REGULAR))
+        inode = self.pack.get_inode(ino)
+        if inode.ftype is FileType.DIRECTORY and writable:
+            raise EISDIR(path)
+        shadow = ShadowFile(self.pack, ino)
+        if trunc and writable and inode.size:
+            shadow.truncate()
+            self.cache.invalidate_file(0, ino)
+        handle = _UnixHandle(next(self._hids), ino, writable, shadow)
+        self.handles[handle.hid] = handle
+        yield from self._cpu(self.cost.buffer_hit)  # incore inode setup
+        return handle.hid
+
+    def _handle(self, fd: int) -> _UnixHandle:
+        handle = self.handles.get(fd)
+        if handle is None or handle.closed:
+            raise EBADF(f"fd {fd}")
+        return handle
+
+    def read(self, fd: int, nbytes: int,
+             offset: Optional[int] = None) -> Generator:
+        handle = self._handle(fd)
+        pos = handle.offset if offset is None else offset
+        size = handle.shadow.incore.size
+        end = min(pos + nbytes, size)
+        if pos >= end:
+            return b""
+        psz = self.cost.page_size
+        chunks = []
+        for page in range(pos // psz, (end - 1) // psz + 1):
+            key = (0, handle.ino, page)
+            cached = self.cache.get(key)
+            if cached is None:
+                data = handle.shadow.read_page(page)
+                yield from self._cpu(self.cost.disk_read)
+                self.cache.put(key, data)
+            else:
+                yield from self._cpu(self.cost.buffer_hit)
+                data = cached
+            data = data.ljust(psz, b"\x00")
+            lo = max(pos, page * psz) - page * psz
+            hi = min(end, (page + 1) * psz) - page * psz
+            chunks.append(data[lo:hi])
+            yield from self._cpu(self.cost.cpu_page_copy)
+        out = b"".join(chunks)
+        if offset is None:
+            handle.offset = pos + len(out)
+        return out
+
+    def write(self, fd: int, data: bytes,
+              offset: Optional[int] = None) -> Generator:
+        handle = self._handle(fd)
+        if not handle.writable:
+            raise EBADF("read-only descriptor")
+        pos = handle.offset if offset is None else offset
+        psz = self.cost.page_size
+        end = pos + len(data)
+        old_size = handle.shadow.incore.size
+        for page in range(pos // psz, (end - 1) // psz + 1):
+            page_lo = page * psz
+            lo, hi = max(pos, page_lo), min(end, page_lo + psz)
+            whole = lo == page_lo and (hi == page_lo + psz or hi >= old_size)
+            old = b"" if whole else handle.shadow.read_page(page)
+            if not whole:
+                yield from self._cpu(self.cost.disk_read)
+            buf = bytearray(old.ljust(psz, b"\x00"))
+            buf[lo - page_lo:hi - page_lo] = data[lo - pos:hi - pos]
+            handle.shadow.write_page(page, bytes(buf[:max(hi - page_lo,
+                                                          len(old))]))
+            yield from self._cpu(self.cost.disk_write)
+            self.cache.put((0, handle.ino, page), bytes(buf))
+            yield from self._cpu(self.cost.cpu_page_copy)
+        handle.shadow.set_size(max(old_size, end))
+        if offset is None:
+            handle.offset = end
+        return len(data)
+
+    def commit(self, fd: int) -> Generator:
+        handle = self._handle(fd)
+        handle.shadow.commit(mtime=self.sim.now)
+        yield from self._cpu(self.cost.disk_write)
+        return None
+
+    def close(self, fd: int) -> Generator:
+        handle = self._handle(fd)
+        if handle.writable and handle.shadow.dirty:
+            yield from self.commit(fd)
+        handle.closed = True
+        del self.handles[fd]
+        return None
+
+    def mkdir(self, path: str) -> Generator:
+        yield from self._cpu(self.cost.cpu_syscall)
+        parent, name, ino = yield from self._walk(path)
+        if ino is not None or name is None:
+            raise EEXIST(path)
+        check_name(name)
+        inode = self.pack.alloc_inode(ftype=FileType.DIRECTORY, perms=0o755)
+        yield from self._cpu(self.cost.disk_write)
+        self._write_dir_now(inode.ino, [
+            DirEntry(".", inode.ino, FileType.DIRECTORY),
+            DirEntry("..", parent, FileType.DIRECTORY),
+        ])
+        yield from self._mutate_dir(
+            parent, lambda v: v.insert(name, inode.ino, FileType.DIRECTORY))
+        return inode.ino
+
+    def unlink(self, path: str) -> Generator:
+        yield from self._cpu(self.cost.cpu_syscall)
+        parent, name, ino = yield from self._walk(path)
+        if ino is None:
+            raise ENOENT(path)
+        inode = self.pack.get_inode(ino)
+        if inode.ftype is FileType.DIRECTORY:
+            raise EISDIR(path)
+        yield from self._mutate_dir(
+            parent, lambda v: v.remove(name, inode.version))
+        inode.nlink -= 1
+        if inode.nlink <= 0:
+            self.cache.invalidate_file(0, ino)
+            self.pack.release_inode(ino)
+        yield from self._cpu(self.cost.disk_write)
+        return None
+
+    def readdir(self, path: str) -> Generator:
+        yield from self._cpu(self.cost.cpu_syscall)
+        __, __, ino = yield from self._walk(path)
+        if ino is None:
+            raise ENOENT(path)
+        view = yield from self._dir_view(ino)
+        return view.names()
+
+    def stat(self, path: str) -> Generator:
+        yield from self._cpu(self.cost.cpu_syscall)
+        __, __, ino = yield from self._walk(path)
+        if ino is None:
+            raise ENOENT(path)
+        inode = self.pack.get_inode(ino)
+        yield from self._cpu(self.cost.buffer_hit)
+        return inode.attrs()
+
+    # -- conveniences -----------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> Generator:
+        fd = yield from self.open(path, "w", create=True, trunc=True)
+        yield from self.write(fd, data)
+        yield from self.close(fd)
+        return None
+
+    def read_file(self, path: str) -> Generator:
+        fd = yield from self.open(path, "r")
+        attrs = self.pack.get_inode(self._handle(fd).ino)
+        data = yield from self.read(fd, attrs.size, offset=0)
+        yield from self.close(fd)
+        return data

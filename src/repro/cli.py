@@ -1,0 +1,211 @@
+"""An interactive operator console for a simulated LOCUS network.
+
+Run with::
+
+    python -m repro.cli [--sites N] [--seed S]
+
+and type ``help`` at the prompt.  Commands operate through an ordinary
+per-site shell, so everything the console does exercises the real system
+call paths; topology commands drive the experiment harness's hand on the
+cables (partition / heal / crash / restart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shlex
+import sys
+from typing import Dict, List, Optional
+
+from repro import LocusCluster
+from repro.errors import LocusError
+from repro.tools import cluster_report, fsck
+from repro.tools.inspect import format_report
+
+HELP = """\
+commands:
+  ls [path]                 list a directory
+  cat <path>                print a file
+  write <path> <text...>    (over)write a file with text
+  append <path> <text...>   append text
+  mkdir <path>              create a directory
+  rm <path>                 unlink a file
+  rmdir <path>              remove an empty directory
+  mv <old> <new>            rename
+  ln <old> <new>            hard link
+  stat <path>               inode attributes
+  copies <n>                set this shell's replication factor
+  site <n>                  switch to a shell on site n
+  partition <g1> <g2> ...   split, e.g.  partition 0,1 2,3
+  heal                      repair the network and merge
+  crash <n> | boot <n>      fail / restart a site
+  status                    cluster report
+  fsck                      consistency check
+  mail <user>               read a user's mailbox
+  quit
+"""
+
+
+class Console:
+    """State of one interactive session: a cluster plus per-site shells."""
+
+    def __init__(self, n_sites: int = 3, seed: int = 0):
+        self.cluster = LocusCluster(n_sites=n_sites, seed=seed)
+        self._shells: Dict[int, object] = {}
+        self.current = 0
+
+    @property
+    def shell(self):
+        if self.current not in self._shells:
+            self._shells[self.current] = self.cluster.shell(self.current)
+        return self._shells[self.current]
+
+    # -- command dispatch -------------------------------------------------
+
+    def run_command(self, line: str) -> Optional[str]:
+        """Execute one command line; returns output text (None to quit)."""
+        try:
+            argv = shlex.split(line)
+        except ValueError as exc:
+            return f"parse error: {exc}"
+        if not argv:
+            return ""
+        cmd, args = argv[0], argv[1:]
+        handler = getattr(self, f"cmd_{cmd}", None)
+        if handler is None:
+            return f"unknown command {cmd!r} (try: help)"
+        try:
+            return handler(args)
+        except LocusError as exc:
+            return f"error: {exc}"
+        except (TypeError, IndexError):
+            return f"usage error for {cmd!r} (try: help)"
+
+    # -- filesystem commands -------------------------------------------------
+
+    def cmd_help(self, args: List[str]) -> str:
+        return HELP
+
+    def cmd_ls(self, args: List[str]) -> str:
+        path = args[0] if args else "/"
+        return "  ".join(self.shell.readdir(path)) or "(empty)"
+
+    def cmd_cat(self, args: List[str]) -> str:
+        return self.shell.read_file(args[0]).decode(errors="replace")
+
+    def cmd_write(self, args: List[str]) -> str:
+        self.shell.write_file(args[0], " ".join(args[1:]).encode())
+        return "ok"
+
+    def cmd_append(self, args: List[str]) -> str:
+        fd = self.shell.open(args[0], "w")
+        try:
+            self.shell.lseek(fd, 0, "end")
+            self.shell.write(fd, (" ".join(args[1:])).encode())
+        finally:
+            self.shell.close(fd)
+        return "ok"
+
+    def cmd_mkdir(self, args: List[str]) -> str:
+        self.shell.mkdir(args[0])
+        return "ok"
+
+    def cmd_rm(self, args: List[str]) -> str:
+        self.shell.unlink(args[0])
+        return "ok"
+
+    def cmd_rmdir(self, args: List[str]) -> str:
+        self.shell.rmdir(args[0])
+        return "ok"
+
+    def cmd_mv(self, args: List[str]) -> str:
+        self.shell.rename(args[0], args[1])
+        return "ok"
+
+    def cmd_ln(self, args: List[str]) -> str:
+        self.shell.link(args[0], args[1])
+        return "ok"
+
+    def cmd_stat(self, args: List[str]) -> str:
+        attrs = self.shell.stat(args[0])
+        return "\n".join(
+            f"{key}: {attrs[key]}"
+            for key in ("ino", "ftype", "size", "owner", "perms", "nlink",
+                        "storage_sites", "version", "conflict"))
+
+    def cmd_copies(self, args: List[str]) -> str:
+        self.shell.setcopies(int(args[0]))
+        return f"replication factor {args[0]}"
+
+    def cmd_mail(self, args: List[str]) -> str:
+        site = self.cluster.site(self.current)
+        mail = self.cluster.call(self.current,
+                                 site.recovery.read_mail(args[0]))
+        if not mail:
+            return "(no mail)"
+        return "\n".join(f"[{m.subject}] {m.body}" for m in mail)
+
+    # -- topology commands -------------------------------------------------
+
+    def cmd_site(self, args: List[str]) -> str:
+        n = int(args[0])
+        if not 0 <= n < len(self.cluster.sites):
+            return f"no site {n}"
+        self.current = n
+        return f"now at site {n}"
+
+    def cmd_partition(self, args: List[str]) -> str:
+        groups = [{int(x) for x in group.split(",")} for group in args]
+        self.cluster.partition(*groups)
+        return "partitioned: " + " | ".join(
+            str(sorted(g)) for g in groups)
+
+    def cmd_heal(self, args: List[str]) -> str:
+        self.cluster.heal()
+        return "healed; partition sets: " + str(
+            [sorted(s.topology.partition_set)
+             for s in self.cluster.sites if s.up])
+
+    def cmd_crash(self, args: List[str]) -> str:
+        self.cluster.fail_site(int(args[0]))
+        self._shells.pop(int(args[0]), None)
+        return f"site {args[0]} crashed"
+
+    def cmd_boot(self, args: List[str]) -> str:
+        self.cluster.restart_site(int(args[0]))
+        return f"site {args[0]} rejoined"
+
+    def cmd_status(self, args: List[str]) -> str:
+        return format_report(cluster_report(self.cluster))
+
+    def cmd_fsck(self, args: List[str]) -> str:
+        return fsck(self.cluster).summary()
+
+    def cmd_quit(self, args: List[str]) -> Optional[str]:
+        return None
+
+    cmd_exit = cmd_quit
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    opts = parser.parse_args(argv)
+    console = Console(n_sites=opts.sites, seed=opts.seed)
+    print(f"LOCUS console: {opts.sites} sites (type 'help')")
+    while True:
+        try:
+            line = input(f"locus[site {console.current}]$ ")
+        except EOFError:
+            break
+        out = console.run_command(line)
+        if out is None:
+            break
+        if out:
+            print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Cost model and tunables for the simulated LOCUS network.
+
+All costs are in abstract microsecond-like time units charged to the virtual
+clock.  The default calibration reproduces the comparative claims of the
+paper rather than absolute VAX-11/750 timings:
+
+* Local page access (buffer miss) costs ``cpu_syscall + disk_read``.
+* Remote page access adds two message sends and two receives, calibrated so
+  the total *CPU* overhead is about twice the local case (paper section
+  2.2.1, footnote: "the cpu overhead of accessing a remote page is twice
+  local access").  Packet disassembly/reassembly being the dominant software
+  cost is explicitly called out in section 6.
+* A remote open costs significantly more than a local one because it runs the
+  four-message US/CSS/SS protocol of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class CostModel:
+    """Virtual-time costs charged by the kernel and network layers."""
+
+    # CPU costs (charged to the executing site's clock and cpu accounting)
+    cpu_syscall: float = 1.0        # base cost of syscall entry/processing
+    cpu_msg: float = 2.5            # packet (dis)assembly per message send/recv
+    cpu_page_copy: float = 0.2      # copying one page kernel<->user space
+    cpu_dir_entry: float = 0.02     # scanning one directory entry
+    cpu_process_page: float = 0.5   # copying one image page during fork/exec
+
+    # Disk costs (charged at the storage site)
+    disk_read: float = 10.0         # read one block from the storage medium
+    disk_write: float = 10.0        # write one block to the storage medium
+    buffer_hit: float = 0.1         # buffer-cache hit
+
+    # Network costs (elapsed wire time; not CPU)
+    net_latency: float = 2.0        # per-message propagation delay
+    net_per_byte: float = 0.002     # serialization delay per payload byte
+
+    # Geometry
+    page_size: int = 1024           # bytes per logical page / disk block
+    buffer_pages: int = 256         # per-site buffer cache capacity (pages)
+
+    # Protocol behaviour
+    readahead: bool = True          # one-page readahead on sequential reads
+    delta_propagation: bool = True  # pull only changed pages when sound
+    merge_sequential_poll: bool = False  # ablation: poll sites one by one
+    # Ablation: disable the CSS single-open-for-modification policy; with
+    # replication and no global synchronization, concurrent writers diverge
+    # (why the CSS exists, section 2.2.1).
+    enforce_single_writer: bool = True
+    # Extension the paper was investigating (section 2.3.4): "ship partial
+    # pathnames to foreign sites so they can do the expansion locally,
+    # avoiding remote directory opens and network transmission of directory
+    # pages" — resuming at each site-change, since "the SS for each
+    # intermediate directory could be different".
+    pathname_shipping: bool = False
+    msg_header_bytes: int = 64      # wire overhead per message
+
+    # Reconfiguration timers
+    poll_timeout: float = 50.0      # RPC poll timeout used by reconfiguration
+    merge_long_timeout: float = 200.0   # while expected sites missing
+    merge_short_timeout: float = 40.0   # after all believed-up sites replied
+    watchdog_interval: float = 100.0    # passive-site check on active site
+
+    def message_delay(self, nbytes: int) -> float:
+        """Wire time for a message carrying ``nbytes`` of payload."""
+        return self.net_latency + (nbytes + self.msg_header_bytes) * self.net_per_byte
+
+    def with_overrides(self, **kw) -> "CostModel":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+
+@dataclass
+class ClusterConfig:
+    """Static configuration for building a :class:`~repro.core.cluster.LocusCluster`."""
+
+    n_sites: int = 3
+    seed: int = 0
+    cost: CostModel = field(default_factory=CostModel)
+    # Sites holding a physical container (pack) of the root filegroup.
+    # ``None`` means every site stores a pack, the fully replicated default.
+    root_pack_sites: "list[int] | None" = None
+    blocks_per_pack: int = 1 << 16
+    max_open_files: int = 64
+
+    def resolved_root_packs(self) -> "list[int]":
+        if self.root_pack_sites is None:
+            return list(range(self.n_sites))
+        return list(self.root_pack_sites)

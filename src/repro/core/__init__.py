@@ -1,0 +1,7 @@
+"""Public core: the cluster builder, sites, and the syscall facade."""
+
+from repro.core.site import Site
+from repro.core.cluster import LocusCluster
+from repro.core.syscalls import Shell
+
+__all__ = ["Site", "LocusCluster", "Shell"]

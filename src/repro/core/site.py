@@ -1,0 +1,240 @@
+"""A LOCUS site: one machine's kernel, storage, and RPC plumbing.
+
+LOCUS is procedure based: "at the point within the execution of the system
+call that foreign service is needed, the operating system packages up a
+message and sends it to the relevant foreign site.  Typically the kernel then
+sleeps, waiting for a response" (paper section 2.3.2, Figure 1).  ``Site.rpc``
+implements exactly that flow; when the destination is the local site only a
+procedure call is needed and no messages move.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional, Set, Tuple
+
+from repro.config import ClusterConfig, CostModel
+from repro.errors import (CircuitClosed, NetworkError, SiteDown, SimTimeout,
+                          TaskCancelled, Unreachable)
+from repro.net.message import Message, MsgKind
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+from repro.sim.task import Task
+from repro.storage.buffer_cache import BufferCache
+from repro.storage.pack import Pack
+
+Handler = Callable[[int, dict], Generator]
+
+
+class Site:
+    """One full-function LOCUS node (every site can be US, SS and CSS)."""
+
+    def __init__(self, site_id: int, sim: Simulator, net: Network,
+                 config: ClusterConfig):
+        self.site_id = site_id
+        self.sim = sim
+        self.net = net
+        self.config = config
+        self.cost: CostModel = config.cost
+        self.up = True
+        self.cpu_used = 0.0
+        self.cpu_type = "vax"          # machine type (section 2.4.1)
+        self.programs: Dict[str, Any] = {}   # the installed instruction set
+        self.packs: Dict[int, Pack] = {}            # gfs -> local pack
+        self.cache = BufferCache(self.cost.buffer_pages)
+        self._handlers: Dict[str, Handler] = {}
+        self._pending: Dict[Tuple[int, int], Any] = {}  # (peer, reqid) -> Future
+        self._reqids = itertools.count(1)
+        self._tasks: Set[Task] = set()
+        # Subsystems are attached by the cluster builder.
+        self.fs = None          # repro.fs.manager.FsManager
+        self.proc = None        # repro.proc.manager.ProcManager
+        self.topology = None    # repro.reconfig.topology.TopologyService
+        self.recovery = None    # repro.recovery.manager.RecoveryManager
+        self.tx = None          # repro.tx.manager.TxManager
+        net.register_site(site_id, self._on_message, self._on_circuit_closed)
+
+    # ------------------------------------------------------------------
+    # CPU accounting: charging advances the virtual clock and the site's
+    # cpu_used counter (single-CPU contention is not modelled; documented
+    # in DESIGN.md).
+    # ------------------------------------------------------------------
+
+    def cpu(self, amount: float) -> Generator:
+        self.cpu_used += amount
+        yield amount
+
+    # ------------------------------------------------------------------
+    # Handler registry
+    # ------------------------------------------------------------------
+
+    def register_handler(self, op: str, fn: Handler) -> None:
+        if op in self._handlers:
+            raise ValueError(f"handler {op!r} already registered")
+        self._handlers[op] = fn
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+
+    def rpc(self, dst: int, op: str, payload: Optional[dict] = None,
+            timeout: Optional[float] = None) -> Generator:
+        """Remote procedure call; a plain procedure call when ``dst`` is
+        local.  Raises whatever the remote handler raised, or
+        :class:`Unreachable` / :class:`CircuitClosed` on communication
+        failure, or :class:`SimTimeout` when ``timeout`` expires."""
+        payload = payload or {}
+        if dst == self.site_id:
+            # Local collapse: no messages (Figure 2's optimized cases).
+            result = yield from self._dispatch(op, self.site_id, payload)
+            return result
+        yield from self.cpu(self.cost.cpu_msg)          # message setup
+        reqid = next(self._reqids)
+        fut = self.sim.create_future(f"rpc:{op}->{dst}")
+        self._pending[(dst, reqid)] = fut
+        msg = self.net.make_message(self.site_id, dst, op,
+                                    MsgKind.REQUEST, payload, reqid=reqid)
+        try:
+            self.net.send(self.site_id, dst, msg)
+        except Exception as exc:
+            self._pending.pop((dst, reqid), None)
+            if isinstance(exc, Unreachable) and self.topology is not None:
+                # Lazy failure detection: a failed send means the circuit
+                # to the peer is gone; the partition protocol must run.
+                self.topology.on_circuit_closed(dst, "send failed")
+            raise
+        wait = fut if timeout is None else self.sim.with_timeout(
+            fut, timeout, label=f"{op}->{dst}")
+        try:
+            status, value = yield wait
+        except SimTimeout:
+            self._pending.pop((dst, reqid), None)
+            raise
+        yield from self.cpu(self.cost.cpu_msg)          # return processing
+        if status == "err":
+            raise value
+        return value
+
+    def oneway(self, dst: int, op: str,
+               payload: Optional[dict] = None) -> Generator:
+        """One-way protocol message: low-level acks only, no response
+        (the write protocol of section 2.3.5)."""
+        payload = payload or {}
+        if dst == self.site_id:
+            # Local: run the handler as a procedure call, discard result.
+            yield from self._dispatch(op, self.site_id, payload)
+            return None
+        yield from self.cpu(self.cost.cpu_msg)
+        msg = self.net.make_message(self.site_id, dst, op,
+                                    MsgKind.ONEWAY, payload)
+        self.net.send(self.site_id, dst, msg)
+        return None
+
+    def oneway_quiet(self, dst: int, op: str,
+                     payload: Optional[dict] = None) -> Generator:
+        """One-way send that swallows unreachability (best-effort notify)."""
+        try:
+            yield from self.oneway(dst, op, payload)
+        except NetworkError:
+            pass
+        return None
+
+    # ------------------------------------------------------------------
+    # Message handling (server side of Figure 1)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, op: str, src: int, payload: dict) -> Generator:
+        handler = self._handlers.get(op)
+        if handler is None:
+            raise ValueError(f"site {self.site_id}: no handler for {op!r}")
+        result = yield from handler(src, payload)
+        return result
+
+    def _on_message(self, msg: Message) -> None:
+        if not self.up:
+            return
+        if msg.kind is MsgKind.RESPONSE:
+            fut = self._pending.pop((msg.src, msg.reqid), None)
+            if fut is not None:
+                fut.resolve(msg.payload)
+            return
+        self.spawn(self._serve(msg), name=f"serve:{msg.mtype}@{self.site_id}")
+
+    def _serve(self, msg: Message) -> Generator:
+        """Message analysis, system-call continuation, send return message."""
+        yield from self.cpu(self.cost.cpu_msg)          # message analysis
+        response: Optional[Tuple[str, Any]]
+        try:
+            value = yield from self._dispatch(msg.mtype, msg.src, msg.payload)
+            response = ("ok", value)
+        except TaskCancelled:
+            raise
+        except Exception as exc:  # noqa: BLE001 - errors return to caller
+            response = ("err", exc)
+        if msg.kind is MsgKind.ONEWAY:
+            return None
+        yield from self.cpu(self.cost.cpu_msg)          # send return message
+        reply = self.net.make_message(self.site_id, msg.src, msg.mtype,
+                                      MsgKind.RESPONSE, response,
+                                      reqid=msg.reqid)
+        try:
+            self.net.send(self.site_id, msg.src, reply)
+        except Exception:
+            # Requester unreachable: it will learn via its closed circuit.
+            pass
+        return None
+
+    def _on_circuit_closed(self, peer: int, reason: str) -> None:
+        if not self.up:
+            return
+        # Fail every RPC outstanding toward the lost peer: closing a circuit
+        # aborts ongoing activity between the two sites (section 5.1).
+        for key in [k for k in self._pending if k[0] == peer]:
+            fut = self._pending.pop(key)
+            fut.fail(CircuitClosed(peer, reason))
+        if self.topology is not None:
+            self.topology.on_circuit_closed(peer, reason)
+
+    # ------------------------------------------------------------------
+    # Task management (so a crash can kill in-flight kernel work)
+    # ------------------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Task:
+        task = self.sim.spawn(gen, name=name or f"site{self.site_id}")
+        self._tasks.add(task)
+        task.done.add_callback(lambda _f: self._tasks.discard(task))
+        return task
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Site failure: volatile state vanishes; packs (disks) survive."""
+        self.up = False
+        for task in list(self._tasks):
+            task.cancel(f"site {self.site_id} crashed")
+        self._tasks.clear()
+        for fut in self._pending.values():
+            fut.fail(SiteDown(self.site_id))
+        self._pending.clear()
+        self.cache.clear()
+        self.net.fail_site(self.site_id)
+        for subsystem in (self.fs, self.proc, self.tx, self.recovery,
+                          self.topology):
+            if subsystem is not None:
+                subsystem.reset_volatile()
+
+    def restart(self) -> None:
+        """Power back on alone in a partition of one; the merge protocol
+        will bring the site back into the network (section 5.5)."""
+        self.net.restore_site(self.site_id)
+        self.up = True
+        for subsystem in (self.fs, self.proc, self.tx, self.recovery,
+                          self.topology):
+            if subsystem is not None:
+                subsystem.on_restart()
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"<Site {self.site_id} {state} packs={sorted(self.packs)}>"

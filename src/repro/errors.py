@@ -1,0 +1,219 @@
+"""Exception hierarchy for the LOCUS reproduction.
+
+LOCUS folded most failures into the existing Unix interface (paper section
+3.3), so filesystem and process errors carry Unix-style errno names.  Network
+and simulation failures get their own branches because kernel code handles
+them differently from user-visible errors.
+"""
+
+from __future__ import annotations
+
+
+class LocusError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate errors
+# ---------------------------------------------------------------------------
+
+class SimError(LocusError):
+    """Base class for simulator-level failures."""
+
+
+class DeadlockError(SimError):
+    """The event queue drained while tasks were still blocked."""
+
+
+class TaskCancelled(SimError):
+    """Raised inside a task's generator when the task is cancelled."""
+
+
+class SimTimeout(SimError):
+    """A timed wait expired before its future resolved."""
+
+
+# ---------------------------------------------------------------------------
+# Network errors
+# ---------------------------------------------------------------------------
+
+class NetworkError(LocusError):
+    """Base class for network-layer failures."""
+
+
+class Unreachable(NetworkError):
+    """The destination is not in the sender's partition."""
+
+    def __init__(self, src: int, dst: int):
+        super().__init__(f"site {dst} unreachable from site {src}")
+        self.src = src
+        self.dst = dst
+
+
+class CircuitClosed(NetworkError):
+    """The virtual circuit closed while a reply was outstanding.
+
+    Closing a circuit aborts any ongoing activity between the two sites
+    (paper section 5.4 footnote), so pending RPCs fail with this error.
+    """
+
+    def __init__(self, peer: int, detail: str = ""):
+        super().__init__(f"virtual circuit to site {peer} closed {detail}".rstrip())
+        self.peer = peer
+
+
+class SiteDown(NetworkError):
+    """The target site has crashed."""
+
+    def __init__(self, site: int):
+        super().__init__(f"site {site} is down")
+        self.site = site
+
+
+# ---------------------------------------------------------------------------
+# Filesystem errors (Unix errno flavoured)
+# ---------------------------------------------------------------------------
+
+class FsError(LocusError):
+    """Base class for filesystem errors; ``errno`` holds the symbolic name."""
+
+    errno = "EIO"
+
+    def __init__(self, detail: str = ""):
+        super().__init__(f"{self.errno}: {detail}" if detail else self.errno)
+        self.detail = detail
+
+
+class ENOENT(FsError):
+    errno = "ENOENT"
+
+
+class EEXIST(FsError):
+    errno = "EEXIST"
+
+
+class ENOTDIR(FsError):
+    errno = "ENOTDIR"
+
+
+class EISDIR(FsError):
+    errno = "EISDIR"
+
+
+class ENOTEMPTY(FsError):
+    errno = "ENOTEMPTY"
+
+
+class EACCES(FsError):
+    errno = "EACCES"
+
+
+class EBADF(FsError):
+    errno = "EBADF"
+
+
+class EBUSY(FsError):
+    errno = "EBUSY"
+
+
+class ENOSPC(FsError):
+    errno = "ENOSPC"
+
+
+class ESTALE(FsError):
+    """The copy offered by a storage site is not the latest version."""
+
+    errno = "ESTALE"
+
+
+class ECONFLICT(FsError):
+    """The file has unreconciled divergent copies (paper section 4.6).
+
+    Normal attempts to access a conflicted file fail, although that control
+    may be overridden via ``allow_conflict``.
+    """
+
+    errno = "ECONFLICT"
+
+
+class EXDEV(FsError):
+    errno = "EXDEV"
+
+
+class EINVAL(FsError):
+    errno = "EINVAL"
+
+
+class EPIPE(FsError):
+    errno = "EPIPE"
+
+
+class EMFILE(FsError):
+    errno = "EMFILE"
+
+
+class EROFS(FsError):
+    errno = "EROFS"
+
+
+class ENAMETOOLONG(FsError):
+    errno = "ENAMETOOLONG"
+
+
+# ---------------------------------------------------------------------------
+# Process errors
+# ---------------------------------------------------------------------------
+
+class ProcessError(LocusError):
+    """Base class for process-management errors."""
+
+
+class ESRCH(ProcessError):
+    """No such process."""
+
+
+class ECHILD(ProcessError):
+    """No waitable children."""
+
+
+class RemoteProcessError(ProcessError):
+    """A cooperating process's site failed (paper section 3.3).
+
+    Additional information about the nature of the error is deposited in the
+    surviving process's structure and interrogated via ``proc_errinfo``.
+    """
+
+    def __init__(self, pid: int, site: int, role: str):
+        super().__init__(f"{role} process {pid} lost: site {site} failed")
+        self.pid = pid
+        self.site = site
+        self.role = role
+
+
+# ---------------------------------------------------------------------------
+# Transaction errors
+# ---------------------------------------------------------------------------
+
+class TxError(LocusError):
+    """Base class for transaction failures."""
+
+
+class TxAborted(TxError):
+    """The transaction (or an ancestor) was aborted."""
+
+    def __init__(self, tid: int, reason: str = ""):
+        super().__init__(f"transaction {tid} aborted: {reason}" if reason
+                         else f"transaction {tid} aborted")
+        self.tid = tid
+        self.reason = reason
+
+
+class TxConflict(TxError):
+    """A lock request conflicted with another active transaction."""
+
+    def __init__(self, tid: int, holder: int, resource):
+        super().__init__(
+            f"transaction {tid} blocked by transaction {holder} on {resource}")
+        self.tid = tid
+        self.holder = holder
+        self.resource = resource

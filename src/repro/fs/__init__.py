@@ -1,0 +1,34 @@
+"""The LOCUS distributed filesystem.
+
+A single tree-structured naming hierarchy covering all objects on all
+machines (paper section 2.1), built from logical *filegroups* glued together
+by the mount mechanism.  Files are replicated across *packs*; every access
+involves up to three logical sites (section 2.3.1):
+
+* **US** — the using site, which issues the request,
+* **SS** — the storage site selected to supply pages,
+* **CSS** — the current synchronization site of the filegroup, which
+  enforces the global access synchronization policy and selects SSs.
+
+All three roles can fall on one physical site; each collapse removes
+messages from the protocols (Figure 2).
+"""
+
+from repro.fs.types import Mode, Gfile, ROOT_GFS
+from repro.fs.mount import FilegroupInfo, MountTable
+from repro.fs.directory import DirEntry, decode_entries, encode_entries
+from repro.fs.manager import FsManager
+from repro.storage.version_vector import VersionVector  # re-export
+
+__all__ = [
+    "Mode",
+    "Gfile",
+    "ROOT_GFS",
+    "FilegroupInfo",
+    "MountTable",
+    "DirEntry",
+    "decode_entries",
+    "encode_entries",
+    "FsManager",
+    "VersionVector",
+]

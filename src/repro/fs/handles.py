@@ -1,0 +1,135 @@
+"""Incore state kept at each of the three logical sites of a file access.
+
+"Since there are three possible independent roles a given site can play
+(US, CSS, SS), it can therefore operate in one of eight modes.  LOCUS
+handles each combination, optimizing some for performance" (section 2.3.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.fs.types import Gfile, Mode
+from repro.storage.shadow import ShadowFile
+from repro.storage.version_vector import VersionVector
+
+
+@dataclass
+class UsHandle:
+    """Using-site state for one open: the US never deals with disk blocks,
+    only logical pages supplied by the SS."""
+
+    hid: int
+    gfile: Gfile
+    mode: Mode
+    ss_site: int
+    attrs: dict
+    sync: bool                      # False for unsynchronized internal reads
+    dirty: bool = False
+    closed: bool = False
+    last_page: int = -2             # readahead: previous page read
+
+    @property
+    def size(self) -> int:
+        return self.attrs["size"]
+
+    @size.setter
+    def size(self, value: int) -> None:
+        self.attrs["size"] = value
+
+
+@dataclass
+class SsOpen:
+    """Storage-site state for one open file.
+
+    ``page_holders`` implements the page-valid tokens of section 3.2: the
+    set of using sites holding a valid cached copy of each page.  A write
+    invalidates every other holder's copy.
+    """
+
+    gfile: Gfile
+    shadow: ShadowFile
+    users: Counter = field(default_factory=Counter)        # us_site -> opens
+    unsync_users: Counter = field(default_factory=Counter)
+    writer: Optional[int] = None
+    page_holders: Dict[int, Set[int]] = field(default_factory=dict)
+
+    @property
+    def total_users(self) -> int:
+        return sum(self.users.values()) + sum(self.unsync_users.values())
+
+    def add_user(self, us: int, mode: Mode) -> None:
+        if mode.synchronized:
+            self.users[us] += 1
+        else:
+            self.unsync_users[us] += 1
+        if mode.writable:
+            self.writer = us
+
+    def drop_user(self, us: int, mode: Mode) -> None:
+        counter = self.users if mode.synchronized else self.unsync_users
+        if counter[us] > 0:
+            counter[us] -= 1
+            if counter[us] == 0:
+                del counter[us]
+        if mode.writable and self.writer == us:
+            self.writer = None
+        if us not in self.users and us not in self.unsync_users:
+            for holders in self.page_holders.values():
+                holders.discard(us)
+
+    def drop_site(self, us: int) -> None:
+        """Forget everything about a using site (it left the partition)."""
+        self.users.pop(us, None)
+        self.unsync_users.pop(us, None)
+        if self.writer == us:
+            self.writer = None
+        for holders in self.page_holders.values():
+            holders.discard(us)
+
+
+@dataclass
+class CssEntry:
+    """Synchronization-site state for one file: "enough state information is
+    kept incore at the CSS to support those synchronization decisions"
+    (section 2.3.3)."""
+
+    gfile: Gfile
+    storage_sites: list
+    latest_vv: VersionVector
+    readers: Counter = field(default_factory=Counter)      # us_site -> opens
+    writer: Optional[int] = None
+    active_ss: Optional[int] = None
+    lock_tx: Optional[int] = None   # owning transaction id, if any
+
+    @property
+    def in_use(self) -> bool:
+        return self.writer is not None or sum(self.readers.values()) > 0
+
+    def note_open(self, us: int, mode: Mode, ss: int) -> None:
+        if mode.writable:
+            self.writer = us
+        else:
+            self.readers[us] += 1
+        self.active_ss = ss
+
+    def note_close(self, us: int, mode: Mode) -> None:
+        if mode.writable and self.writer == us:
+            self.writer = None
+        elif self.readers[us] > 0:
+            self.readers[us] -= 1
+            if self.readers[us] == 0:
+                del self.readers[us]
+        if not self.in_use:
+            self.active_ss = None
+            self.lock_tx = None
+
+    def drop_site(self, us: int) -> None:
+        self.readers.pop(us, None)
+        if self.writer == us:
+            self.writer = None
+        if not self.in_use:
+            self.active_ss = None
+            self.lock_tx = None

@@ -1,0 +1,1156 @@
+"""The distributed filesystem kernel: US/SS/CSS protocols.
+
+Implements the message sequences of paper section 2.3 exactly:
+
+* open (general case, Figure 2)::
+
+      US  -> CSS   OPEN request
+      CSS -> SS    request for storage site
+      SS  -> CSS   response to previous message
+      CSS -> US    response to first message
+
+  with the two optimizations described in the text: when the US stores the
+  latest version the CSS selects the US itself, and when the CSS stores the
+  latest version it picks itself "without any message overhead".
+
+* network read (section 2.3.3)::
+
+      US -> SS     request for page x of file y
+      SS -> US     response to the above request
+
+* write (section 2.3.5): a single one-way message (low-level acks only).
+
+* close (section 2.3.3, including the race fix in the footnote)::
+
+      US  -> SS    US close
+      SS  -> CSS   SS close
+      CSS -> SS    response to above
+      SS  -> US    response to first message
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.errors import (EBADF, EBUSY, ECONFLICT, EINVAL, ENOENT, ESTALE,
+                          NetworkError, SiteDown)
+from repro.fs.handles import CssEntry, SsOpen, UsHandle
+from repro.fs.mount import MountTable
+from repro.fs.namespace import NamespaceMixin
+from repro.fs.path import PathMixin
+from repro.fs.propagation import Propagator
+from repro.fs.types import Gfile, Mode
+from repro.storage.pack import Pack, pack_index_of
+from repro.storage.shadow import ShadowFile
+from repro.storage.version_vector import VersionVector
+
+
+class FsManager(PathMixin, NamespaceMixin):
+    """Per-site filesystem kernel; plays US, SS and CSS as needed."""
+
+    def __init__(self, site, mount: MountTable):
+        self.site = site
+        self.mount = mount
+        self.us: Dict[int, UsHandle] = {}
+        self.ss: Dict[Gfile, SsOpen] = {}
+        # In-flight remote page fetches (readahead included), so concurrent
+        # requests for one page share a single network read.
+        self._inflight: Dict[Tuple[int, int, int], object] = {}
+        self.css_entries: Dict[Gfile, CssEntry] = {}
+        # Latest version vector this kernel has *heard of* per file (commit
+        # notifications update it immediately, before any data propagates).
+        # The CSS uses it so a lagging local copy is never offered as
+        # current (section 2.3.1: the CSS "must have knowledge of ... what
+        # the most current version of the file is").
+        self.known_latest: Dict[Gfile, VersionVector] = {}
+        self._hids = itertools.count(1)
+        self._delete_acks: Dict[Gfile, Set[int]] = {}
+        self.propagator = Propagator(self)
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _register_handlers(self) -> None:
+        reg = self.site.register_handler
+        reg("fs.css_open", self.h_css_open)
+        reg("fs.ss_open", self.h_ss_open)
+        reg("fs.read_page", self.h_read_page)
+        reg("fs.write_page", self.h_write_page)
+        reg("fs.truncate", self.h_truncate)
+        reg("fs.set_attrs", self.h_set_attrs)
+        reg("fs.commit", self.h_commit)
+        reg("fs.abort", self.h_abort)
+        reg("fs.close", self.h_close)
+        reg("fs.close_unsync", self.h_close_unsync)
+        reg("fs.css_ss_close", self.h_css_ss_close)
+        reg("fs.notify", self.h_notify)
+        reg("fs.invalidate", self.h_invalidate)
+        reg("fs.create_file", self.h_create_file)
+        reg("fs.delete_seen", self.h_delete_seen)
+        reg("fs.fetch_attrs", self.h_fetch_attrs)
+        reg("fs.pull_open", self.h_pull_open)
+        reg("fs.pull_read", self.h_pull_read)
+        reg("fs.pack_inventory", self.h_pack_inventory)
+        reg("fs.css_rebuild", self.h_css_rebuild)
+        reg("fs.invalidate_file", self.h_invalidate_file)
+        reg("fs.install_merged", self.h_install_merged)
+        reg("fs.mark_conflict", self.h_mark_conflict)
+        reg("fs.reap", self.h_reap)
+        reg("fs.walk_path", self.h_walk_path)
+        reg("fs.scrub_orphan", self.h_scrub_orphan)
+
+    def reset_volatile(self) -> None:
+        """Crash: incore inodes and synchronization state vanish."""
+        self.us.clear()
+        self.ss.clear()
+        self.css_entries.clear()
+        self.known_latest.clear()
+        for fut in self._inflight.values():
+            fut.fail(SiteDown(self.sid))
+        self._inflight.clear()
+        self._delete_acks.clear()
+        self.propagator.reset()
+
+    def on_restart(self) -> None:
+        self.propagator.start()
+
+    # ------------------------------------------------------------------
+    # Small helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def sid(self) -> int:
+        return self.site.site_id
+
+    @property
+    def cost(self):
+        return self.site.cost
+
+    def local_pack(self, gfs: int) -> Optional[Pack]:
+        return self.site.packs.get(gfs)
+
+    def local_inode(self, gfile: Gfile):
+        pack = self.local_pack(gfile[0])
+        return pack.get_inode(gfile[1]) if pack else None
+
+    def stores_locally(self, gfile: Gfile) -> bool:
+        pack = self.local_pack(gfile[0])
+        return bool(pack and pack.stores(gfile[1]))
+
+    def _page_key(self, gfile: Gfile, page: int) -> Tuple[int, int, int]:
+        return (gfile[0], gfile[1], page)
+
+    def _n_pages(self, size: int) -> int:
+        psz = self.cost.page_size
+        return (size + psz - 1) // psz
+
+    # ------------------------------------------------------------------
+    # US: open
+    # ------------------------------------------------------------------
+
+    def open_gfile(self, gfile: Gfile, mode: Mode,
+                   allow_conflict: bool = False) -> Generator:
+        """Open by low-level name; returns a :class:`UsHandle`.
+
+        Unsynchronized reads of locally stored, propagation-clean files are
+        served without informing the CSS (section 2.3.4).
+        """
+        if mode.synchronized:
+            yield from self.site.cpu(self.cost.cpu_syscall)
+        else:
+            # Internal unsynchronized opens (pathname searching) are part
+            # of an enclosing system call, not syscalls of their own.
+            yield from self.site.cpu(self.cost.buffer_hit)
+        recovery = self.site.recovery
+        needs_recovery = recovery is not None and recovery.needs(gfile)
+        if mode is Mode.UNSYNC and not needs_recovery:
+            inode = self.local_inode(gfile)
+            if (inode is not None and inode.has_data and not inode.deleted
+                    and not inode.conflict
+                    and not self.propagator.is_pending(gfile)):
+                attrs = yield from self._ss_open_local(gfile, mode, self.sid)
+                return self._make_handle(gfile, mode, self.sid, attrs,
+                                         sync=False)
+        css = self.mount.css_for(gfile[0])
+        us_vv = None
+        if self.stores_locally(gfile):
+            us_vv = self.local_inode(gfile).version.copy()
+        resp = yield from self.site.rpc(css, "fs.css_open", {
+            "gfile": gfile,
+            "mode": mode,
+            "us_vv": us_vv,
+            "allow_conflict": allow_conflict,
+        })
+        ss_site, attrs = resp["ss"], resp["attrs"]
+        if ss_site == self.sid:
+            # CSS selected this site as SS; set up the storage-site state
+            # with a procedure call (no messages).
+            attrs = yield from self._ss_open_local(gfile, mode, self.sid)
+        else:
+            # A stale local copy may have left its pages in the buffer
+            # cache (unsynchronized reads); they must not be mixed with
+            # pages of the newer version the remote SS will supply.
+            local = self.local_inode(gfile)
+            if local is not None and local.version != attrs["version"]:
+                self.site.cache.invalidate_file(*gfile)
+        return self._make_handle(gfile, mode, ss_site, attrs,
+                                 sync=mode.synchronized)
+
+    def _make_handle(self, gfile: Gfile, mode: Mode, ss_site: int,
+                     attrs: dict, sync: bool) -> UsHandle:
+        handle = UsHandle(hid=next(self._hids), gfile=gfile, mode=mode,
+                          ss_site=ss_site, attrs=dict(attrs), sync=sync)
+        self.us[handle.hid] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # CSS: open
+    # ------------------------------------------------------------------
+
+    def h_css_open(self, src: int, p: dict) -> Generator:
+        gfile: Gfile = p["gfile"]
+        mode: Mode = p["mode"]
+        us_vv: Optional[VersionVector] = p.get("us_vv")
+        # Demand recovery: an unreconciled file is reconciled out of order
+        # so this access proceeds with only a small delay (section 4.4).
+        recovery = self.site.recovery
+        if recovery is not None and recovery.needs(gfile):
+            yield from recovery.demand(gfile)
+        entry = yield from self._css_load_entry(gfile)
+        attrs = yield from self._css_local_attrs(gfile)
+        if attrs["deleted"]:
+            raise ENOENT(f"gfile {gfile} deleted")
+        if attrs["conflict"] and not p.get("allow_conflict"):
+            raise ECONFLICT(f"gfile {gfile} has unreconciled copies")
+        if mode.writable and entry.writer is not None \
+                and self.cost.enforce_single_writer:
+            raise EBUSY(f"gfile {gfile} already open for modification")
+        if mode.writable and entry.lock_tx is not None and \
+                p.get("tx") != entry.lock_tx:
+            raise EBUSY(f"gfile {gfile} locked by transaction "
+                        f"{entry.lock_tx}")
+
+        # Reserve the modification slot *before* the storage-site poll: the
+        # poll sleeps, and a second open racing through the check while the
+        # first is mid-selection would give two writers (lost updates).
+        reserved = mode.writable and mode.synchronized
+        if reserved:
+            entry.writer = src
+        try:
+            ss_site, attrs = yield from self._css_select_ss(
+                entry, src, mode, us_vv, attrs)
+        except BaseException:
+            if reserved and entry.writer == src:
+                entry.writer = None
+                if not entry.in_use:
+                    self.css_entries.pop(gfile, None)
+            raise
+        if mode.synchronized:
+            entry.note_open(src, mode, ss_site)
+            if p.get("tx") is not None and mode.writable:
+                entry.lock_tx = p["tx"]
+        return {"ss": ss_site, "attrs": attrs}
+
+    def _css_select_ss(self, entry: CssEntry, us: int, mode: Mode,
+                       us_vv: Optional[VersionVector],
+                       attrs: dict) -> Generator:
+        """Storage-site selection with the Figure 2 optimizations."""
+        latest = entry.latest_vv
+        # An *active writer* pins everybody to one storage site:
+        # simultaneous read and modification involve only one SS (section
+        # 2.3.6 footnote).  Readers alone do not pin — they may continue on
+        # an older copy while newer opens go to a current site ("this must
+        # not prevent other processes from accessing the newer version",
+        # section 5.2).
+        writer_active = (entry.writer is not None and entry.writer != us)
+        if entry.active_ss is not None and writer_active \
+                and self.cost.enforce_single_writer:
+            candidates = [entry.active_ss]
+        else:
+            candidates = []
+            # Optimization 1: the US already stores the latest version.
+            if us_vv is not None and us in entry.storage_sites and \
+                    us_vv.dominates(latest):
+                entry.latest_vv = latest = us_vv.copy()
+                return us, attrs
+            # Optimization 2: the CSS itself stores the latest version.
+            if self.stores_locally(entry.gfile):
+                local_vv = self.local_inode(entry.gfile).version
+                if local_vv.dominates(latest):
+                    candidates.append(self.sid)
+            for s in entry.storage_sites:
+                if s not in candidates and s != us:
+                    candidates.append(s)
+            # The US last (a remote poll of the US is never useful: if it
+            # stored the latest copy the optimization above fired).
+            if us in entry.storage_sites and us not in candidates:
+                candidates.append(us)
+
+        for cand in candidates:
+            if cand == self.sid:
+                try:
+                    ss_attrs = yield from self._ss_open_local(
+                        entry.gfile, mode, us, required_vv=latest)
+                except ESTALE:
+                    continue   # stale local copy or a pull mid-flight
+                return cand, ss_attrs
+            try:
+                ss_attrs = yield from self.site.rpc(cand, "fs.ss_open", {
+                    "gfile": entry.gfile,
+                    "mode": mode,
+                    "us": us,
+                    "required_vv": latest,
+                })
+                return cand, ss_attrs
+            except (ESTALE, NetworkError):
+                continue
+        raise ENOENT(f"no available storage site for {entry.gfile}")
+
+    def _css_load_entry(self, gfile: Gfile) -> Generator:
+        entry = self.css_entries.get(gfile)
+        if entry is None:
+            attrs = yield from self._css_local_attrs(gfile)
+            latest = attrs["version"]
+            heard = self.known_latest.get(gfile)
+            if heard is not None:
+                latest = latest.merge(heard)
+            entry = CssEntry(gfile=gfile,
+                             storage_sites=list(attrs["storage_sites"]),
+                             latest_vv=latest.copy())
+            self.css_entries[gfile] = entry
+        return entry
+
+    def _note_version(self, gfile: Gfile, version: VersionVector) -> None:
+        heard = self.known_latest.get(gfile)
+        self.known_latest[gfile] = version if heard is None \
+            else heard.merge(version)
+
+    def _css_local_attrs(self, gfile: Gfile) -> Generator:
+        """Inode attributes as known at the CSS (its pack holds a copy of
+        the disk inode whether or not it stores the file)."""
+        inode = self.local_inode(gfile)
+        if inode is not None:
+            return inode.attrs()
+        # CSS without a pack for this filegroup: fetch from a pack site.
+        for s in self.mount.pack_sites(gfile[0]):
+            if s == self.sid:
+                continue
+            try:
+                attrs = yield from self.site.rpc(s, "fs.fetch_attrs",
+                                                 {"gfile": gfile})
+                return attrs
+            except (ENOENT, NetworkError):
+                continue
+        raise ENOENT(f"gfile {gfile} unknown at CSS")
+
+    def h_fetch_attrs(self, src: int, p: dict) -> Generator:
+        inode = self.local_inode(p["gfile"])
+        if inode is None:
+            raise ENOENT(f"gfile {p['gfile']} not at site {self.sid}")
+        yield from self.site.cpu(self.cost.buffer_hit)
+        return inode.attrs()
+
+    # ------------------------------------------------------------------
+    # SS: open
+    # ------------------------------------------------------------------
+
+    def h_ss_open(self, src: int, p: dict) -> Generator:
+        """``src`` is the CSS (or this site); ``p['us']`` the using site."""
+        return (yield from self._ss_open_local(p["gfile"], p["mode"],
+                                               p["us"], p.get("required_vv")))
+
+    def _ss_open_local(self, gfile: Gfile, mode: Mode, us: int,
+                       required_vv: Optional[VersionVector] = None
+                       ) -> Generator:
+        pack = self.local_pack(gfile[0])
+        if pack is None or not pack.stores(gfile[1]):
+            raise ESTALE(f"site {self.sid} does not store {gfile}")
+        if self.propagator.is_pulling(gfile) and gfile not in self.ss:
+            # A propagation pull is mid-flight: this pack is about to
+            # change under any snapshot taken now.  Refuse; the CSS will
+            # pick a site that already holds the latest version.
+            raise ESTALE(f"site {self.sid} is propagating {gfile}")
+        inode = pack.get_inode(gfile[1])
+        if required_vv is not None and not inode.version.dominates(
+                required_vv):
+            # "If they do not yet store the latest version, they refuse to
+            # act as a storage site."
+            raise ESTALE(f"site {self.sid} stores an old version of {gfile}")
+        so = self.ss.get(gfile)
+        if so is None:
+            so = SsOpen(gfile=gfile, shadow=ShadowFile(pack, gfile[1]))
+            self.ss[gfile] = so
+        elif not so.shadow.dirty and \
+                so.shadow.incore.version != inode.version:
+            # The disk inode moved under an idle incore copy (propagation
+            # landed, or the number was reaped and reincarnated): a stale
+            # snapshot must never serve — or worse, commit — old state.
+            so.shadow = ShadowFile(pack, gfile[1])
+        so.add_user(us, mode)
+        yield from self.site.cpu(self.cost.buffer_hit)  # incore inode setup
+        if not mode.synchronized:
+            # Interrogation sees the committed state, not a concurrent
+            # writer's staged incore inode (section 2.3.4).
+            return pack.get_inode(gfile[1]).attrs()
+        return so.shadow.incore.attrs()
+
+    # ------------------------------------------------------------------
+    # US: read
+    # ------------------------------------------------------------------
+
+    def read(self, handle: UsHandle, offset: int, nbytes: int) -> Generator:
+        if handle.closed:
+            raise EBADF("read on closed handle")
+        if offset < 0 or nbytes < 0:
+            raise EINVAL("negative offset or length")
+        size = handle.size
+        end = min(offset + nbytes, size)
+        if offset >= end:
+            return b""
+        psz = self.cost.page_size
+        chunks: List[bytes] = []
+        for page in range(offset // psz, (end - 1) // psz + 1):
+            data = yield from self._get_page(handle, page)
+            data = data.ljust(psz, b"\x00")
+            lo = max(offset, page * psz) - page * psz
+            hi = min(end, (page + 1) * psz) - page * psz
+            chunks.append(data[lo:hi])
+            yield from self.site.cpu(self.cost.cpu_page_copy)
+        return b"".join(chunks)
+
+    def _get_page(self, handle: UsHandle, page: int) -> Generator:
+        gfile = handle.gfile
+        if not handle.sync:
+            # Unsynchronized interrogation reads the last *committed* state:
+            # a concurrent writer's staged pages must never be seen, so
+            # "directory interrogation never sees an inconsistent picture"
+            # (section 2.3.4).
+            data = yield from self._get_page_committed(handle, page)
+            return data
+        if handle.ss_site == self.sid:
+            so = self.ss.get(gfile)
+            if so is None:
+                raise EBADF(f"no storage-site state for {gfile}")
+            data = yield from self._ss_read_block(so, page)
+            return data
+        key = self._page_key(gfile, page)
+        cached = self.site.cache.get(key)
+        if cached is not None:
+            yield from self.site.cpu(self.cost.buffer_hit)
+            sequential = page == handle.last_page + 1
+            handle.last_page = page
+            if self.cost.readahead and sequential:
+                self._maybe_readahead(handle, page + 1)
+            return cached
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # A readahead already asked the SS for this page: sleep on the
+            # same buffer instead of issuing a duplicate network read.
+            data = yield inflight
+            handle.last_page = page
+            return data
+        fut = self.site.sim.create_future(f"fetch:{key}")
+        self._inflight[key] = fut
+        try:
+            data = yield from self.site.rpc(handle.ss_site, "fs.read_page", {
+                "gfile": gfile, "page": page,
+            })
+        except BaseException as exc:
+            fut.fail(exc)
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        if key not in self.site.cache:
+            # A concurrent local write may have refreshed the page while
+            # our response was in flight; never overwrite newer content.
+            self.site.cache.put(key, data)
+        fut.resolve(data)
+        sequential = page == handle.last_page + 1
+        handle.last_page = page
+        if self.cost.readahead and sequential:
+            self._maybe_readahead(handle, page + 1)
+        return data
+
+    def _maybe_readahead(self, handle: UsHandle, page: int) -> None:
+        if page >= self._n_pages(handle.size):
+            return
+        key = self._page_key(handle.gfile, page)
+        if key in self.site.cache or key in self._inflight:
+            return
+        fut = self.site.sim.create_future(f"readahead:{key}")
+        self._inflight[key] = fut
+        self.site.spawn(self._readahead(handle, page, key, fut),
+                        name=f"readahead:{handle.gfile}:{page}")
+
+    def _readahead(self, handle: UsHandle, page: int, key, fut) -> Generator:
+        try:
+            data = yield from self.site.rpc(handle.ss_site, "fs.read_page", {
+                "gfile": handle.gfile, "page": page,
+            })
+        except (NetworkError, EBADF, ESTALE, ENOENT) as exc:
+            self._inflight.pop(key, None)
+            fut.fail(exc)
+            return
+        self._inflight.pop(key, None)
+        if key not in self.site.cache:   # never clobber a newer write
+            self.site.cache.put(key, data)
+        fut.resolve(data)
+
+    def _get_page_committed(self, handle: UsHandle, page: int) -> Generator:
+        gfile = handle.gfile
+        if handle.ss_site == self.sid:
+            data = yield from self._committed_block(gfile, page)
+            return data
+        key = (gfile[0], gfile[1], page, "c")
+        cached = self.site.cache.get(key)
+        if cached is not None:
+            yield from self.site.cpu(self.cost.buffer_hit)
+            return cached
+        data = yield from self.site.rpc(handle.ss_site, "fs.read_page", {
+            "gfile": gfile, "page": page, "committed": True,
+        })
+        self.site.cache.put(key, data)
+        return data
+
+    def _committed_block(self, gfile: Gfile, page: int) -> Generator:
+        """Read one last-committed page at a pack site, through the
+        committed-view buffer cache (separate keyspace from the incore
+        view, which may hold staged shadow pages)."""
+        pack = self.local_pack(gfile[0])
+        inode = pack.get_inode(gfile[1]) if pack else None
+        if inode is None or not inode.has_data:
+            raise ENOENT(f"{gfile} has no data at site {self.sid}")
+        key = (gfile[0], gfile[1], page, "c")
+        cached = self.site.cache.get(key)
+        if cached is not None:
+            yield from self.site.cpu(self.cost.buffer_hit)
+            return cached
+        blockno = inode.pages[page] if page < len(inode.pages) else None
+        data = pack.read_block(blockno) if blockno is not None else b""
+        self.site.cache.put(key, data)
+        yield from self.site.cpu(self.cost.disk_read)
+        return data
+
+    def _ss_read_block(self, so: SsOpen, page: int) -> Generator:
+        """SS-side page read through the buffer cache (section 2.3.3 steps
+        a-c: find incore inode, translate logical page, read the block)."""
+        key = self._page_key(so.gfile, page)
+        cached = self.site.cache.get(key)
+        if cached is not None:
+            yield from self.site.cpu(self.cost.buffer_hit)
+            return cached
+        data = so.shadow.read_page(page)
+        self.site.cache.put(key, data)   # atomic with the read (see apply)
+        yield from self.site.cpu(self.cost.disk_read)
+        return data
+
+    def h_read_page(self, src: int, p: dict) -> Generator:
+        if p.get("committed"):
+            data = yield from self._committed_block(p["gfile"], p["page"])
+            return data
+        so = self.ss.get(p["gfile"])
+        if so is None:
+            raise EBADF(f"{p['gfile']} not open at storage site {self.sid}")
+        data = yield from self._ss_read_block(so, p["page"])
+        so.page_holders.setdefault(p["page"], set()).add(src)
+        return data
+
+    # ------------------------------------------------------------------
+    # US: write
+    # ------------------------------------------------------------------
+
+    def write(self, handle: UsHandle, offset: int, data: bytes) -> Generator:
+        if handle.closed:
+            raise EBADF("write on closed handle")
+        if not handle.mode.writable:
+            raise EBADF("handle not open for modification")
+        if offset < 0:
+            raise EINVAL("negative offset")
+        if not data:
+            return 0
+        psz = self.cost.page_size
+        end = offset + len(data)
+        old_size = handle.size
+        for page in range(offset // psz, (end - 1) // psz + 1):
+            page_lo = page * psz
+            page_hi = page_lo + psz
+            lo = max(offset, page_lo)
+            hi = min(end, page_hi)
+            whole_page = (lo == page_lo and
+                          (hi == page_hi or hi >= old_size))
+            if whole_page:
+                old = b""
+            else:
+                # Partial page: "the old page is read from the SS using the
+                # read protocol" (section 2.3.5).
+                old = yield from self._get_page(handle, page)
+            buf = bytearray(old.ljust(psz, b"\x00"))
+            buf[lo - page_lo:hi - page_lo] = data[lo - offset:hi - offset]
+            page_data = bytes(buf[:max(hi - page_lo, len(old))])
+            new_size = max(old_size, hi)
+            yield from self._put_page(handle, page, page_data, new_size)
+            yield from self.site.cpu(self.cost.cpu_page_copy)
+        handle.size = max(old_size, end)
+        handle.dirty = True
+        return len(data)
+
+    def _put_page(self, handle: UsHandle, page: int, data: bytes,
+                  new_size: int) -> Generator:
+        gfile = handle.gfile
+        if handle.ss_site == self.sid:
+            so = self.ss.get(gfile)
+            if so is None:
+                raise EBADF(f"no storage-site state for {gfile}")
+            yield from self._ss_apply_write(so, page, data, new_size,
+                                            writer=self.sid)
+            return
+        self.site.cache.put(self._page_key(gfile, page), data)
+        # The write protocol is a single one-way message (section 2.3.5).
+        yield from self.site.oneway(handle.ss_site, "fs.write_page", {
+            "gfile": gfile, "page": page, "data": data, "size": new_size,
+        })
+
+    def h_write_page(self, src: int, p: dict) -> Generator:
+        so = self.ss.get(p["gfile"])
+        if so is None:
+            return None  # stale write after close; drop (low-level ack only)
+        yield from self._ss_apply_write(so, p["page"], p["data"], p["size"],
+                                        writer=src)
+        return None
+
+    def _ss_apply_write(self, so: SsOpen, page: int, data: bytes,
+                        new_size: int, writer: int) -> Generator:
+        # State change and cache update are one atomic step: an abort
+        # interleaving at the cost-accounting yield below must not see the
+        # cache repopulated with the discarded page afterwards.
+        so.shadow.write_page(page, data)
+        so.shadow.set_size(max(so.shadow.incore.size, new_size))
+        self.site.cache.put(self._page_key(so.gfile, page), data)
+        yield from self.site.cpu(self.cost.disk_write)
+        # Page-valid tokens: revoke every other using site's cached copy.
+        holders = so.page_holders.setdefault(page, set())
+        for us in list(holders):
+            if us not in (writer, self.sid):
+                yield from self.site.oneway_quiet(us, "fs.invalidate", {
+                    "gfile": so.gfile, "page": page,
+                })
+        holders.clear()
+        holders.add(writer)
+
+    def h_invalidate(self, src: int, p: dict) -> Generator:
+        self.site.cache.invalidate(self._page_key(p["gfile"], p["page"]))
+        return None
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # US: truncate / attribute change
+    # ------------------------------------------------------------------
+
+    def truncate(self, handle: UsHandle) -> Generator:
+        if not handle.mode.writable:
+            raise EBADF("truncate needs a write open")
+        if handle.ss_site == self.sid:
+            so = self.ss[handle.gfile]
+            yield from self._ss_truncate(so)
+        else:
+            yield from self.site.rpc(handle.ss_site, "fs.truncate",
+                                     {"gfile": handle.gfile})
+        self.site.cache.invalidate_file(*handle.gfile)
+        handle.size = 0
+        handle.dirty = True
+        return None
+
+    def h_truncate(self, src: int, p: dict) -> Generator:
+        so = self.ss.get(p["gfile"])
+        if so is None:
+            raise EBADF(f"{p['gfile']} not open at {self.sid}")
+        yield from self._ss_truncate(so)
+        return None
+
+    def _ss_truncate(self, so: SsOpen) -> Generator:
+        so.shadow.truncate()
+        yield from self.site.cpu(self.cost.disk_write)
+        self.site.cache.invalidate_file(*so.gfile)
+        # Snapshot: concurrent readers may register page holders while the
+        # invalidations below are in flight.
+        holders_snapshot = {us for holders in so.page_holders.values()
+                            for us in holders}
+        so.page_holders.clear()
+        for us in sorted(holders_snapshot):
+            if us != self.sid:
+                yield from self.site.oneway_quiet(us, "fs.invalidate_file",
+                                                  {"gfile": so.gfile})
+
+    def set_attrs(self, handle: UsHandle, **patch) -> Generator:
+        """Stage inode-only changes (ownership, permissions...)."""
+        if not handle.mode.writable:
+            raise EBADF("attribute change needs a write open")
+        if handle.ss_site == self.sid:
+            self.ss[handle.gfile].shadow.set_attrs(**patch)
+        else:
+            yield from self.site.rpc(handle.ss_site, "fs.set_attrs", {
+                "gfile": handle.gfile, "patch": patch,
+            })
+        handle.attrs.update(patch)
+        handle.dirty = True
+        return None
+
+    def h_set_attrs(self, src: int, p: dict) -> Generator:
+        so = self.ss.get(p["gfile"])
+        if so is None:
+            raise EBADF(f"{p['gfile']} not open at {self.sid}")
+        so.shadow.set_attrs(**p["patch"])
+        yield from self.site.cpu(self.cost.buffer_hit)
+        return None
+
+    # ------------------------------------------------------------------
+    # Commit / abort (section 2.3.6)
+    # ------------------------------------------------------------------
+
+    def commit(self, handle: UsHandle) -> Generator:
+        """Make this open's changes permanent, atomically."""
+        if handle.closed:
+            raise EBADF("commit on closed handle")
+        if not handle.mode.writable:
+            raise EBADF("commit needs a write open")
+        if handle.ss_site == self.sid:
+            vv = yield from self._ss_commit(handle.gfile)
+        else:
+            vv = yield from self.site.rpc(handle.ss_site, "fs.commit",
+                                          {"gfile": handle.gfile})
+        handle.dirty = False
+        handle.attrs["version"] = vv
+        return vv
+
+    def abort(self, handle: UsHandle) -> Generator:
+        """Undo changes back to the previous commit point."""
+        if handle.closed:
+            raise EBADF("abort on closed handle")
+        if handle.ss_site == self.sid:
+            yield from self._ss_abort(handle.gfile)
+        else:
+            yield from self.site.rpc(handle.ss_site, "fs.abort",
+                                     {"gfile": handle.gfile})
+        self.site.cache.invalidate_file(*handle.gfile)
+        handle.dirty = False
+        inode_attrs = yield from self._fetch_attrs_anywhere(handle.gfile)
+        handle.attrs = dict(inode_attrs)
+        return None
+
+    def h_commit(self, src: int, p: dict) -> Generator:
+        vv = yield from self._ss_commit(p["gfile"])
+        return vv
+
+    def h_abort(self, src: int, p: dict) -> Generator:
+        yield from self._ss_abort(p["gfile"])
+        return None
+
+    def _ss_commit(self, gfile: Gfile) -> Generator:
+        so = self.ss.get(gfile)
+        if so is None:
+            raise EBADF(f"{gfile} not open at storage site {self.sid}")
+        pages_changed = so.shadow.shadowed_pages
+        vv = so.shadow.commit(mtime=self.site.sim.now)
+        yield from self.site.cpu(self.cost.disk_write)  # the inode write
+        # Committed-view pages cached before this commit are now stale.
+        self.site.cache.invalidate_committed(*gfile)
+        pack = self.local_pack(gfile[0])
+        attrs = pack.get_inode(gfile[1]).attrs()
+        yield from self._after_commit(gfile, attrs, pages_changed)
+        return vv
+
+    def _ss_abort(self, gfile: Gfile) -> Generator:
+        so = self.ss.get(gfile)
+        if so is None:
+            raise EBADF(f"{gfile} not open at storage site {self.sid}")
+        so.shadow.abort()
+        self.site.cache.invalidate_file(*gfile)
+        yield from self.site.cpu(self.cost.buffer_hit)
+        return None
+
+    def _after_commit(self, gfile: Gfile, attrs: dict,
+                      pages: List[int]) -> Generator:
+        """Notify the CSS and the other storage sites (section 2.3.6: 'As
+        part of the commit operation, the SS sends messages to all the other
+        SSs of that file as well as the CSS')."""
+        gfs = gfile[0]
+        css = self.mount.css_for(gfs)
+        self._note_version(gfile, attrs["version"])
+        payload = {"gfile": gfile, "attrs": attrs, "pages": pages,
+                   "origin": self.sid}
+        if css == self.sid:
+            yield from self.h_notify(self.sid, payload)
+        else:
+            # Synchronous to the CSS so its latest-version knowledge is
+            # current before the committing call returns.
+            try:
+                yield from self.site.rpc(css, "fs.notify", payload)
+            except NetworkError:
+                pass
+        for target in self.mount.pack_sites(gfs):
+            if target in (self.sid, css):
+                continue
+            yield from self.site.oneway_quiet(target, "fs.notify", payload)
+        if attrs["deleted"]:
+            yield from self._local_delete_seen(gfile, attrs)
+        return None
+
+    # ------------------------------------------------------------------
+    # Commit notification / propagation intake
+    # ------------------------------------------------------------------
+
+    def h_notify(self, src: int, p: dict) -> Generator:
+        gfile: Gfile = p["gfile"]
+        attrs: dict = p["attrs"]
+        self._note_version(gfile, attrs["version"])
+        if self.mount.css.get(gfile[0]) == self.sid:
+            entry = self.css_entries.get(gfile)
+            if entry is not None:
+                if attrs["version"].dominates(entry.latest_vv):
+                    entry.latest_vv = attrs["version"].copy()
+                entry.storage_sites = list(attrs["storage_sites"])
+        pack = self.local_pack(gfile[0])
+        if pack is None or p["origin"] == self.sid:
+            # No pack here, or the commit originated at this very site (the
+            # SS already holds the data).  Note: recovery sends itself
+            # notifies with origin = the winning site, which must proceed.
+            return None
+        inode = pack.get_inode(gfile[1])
+        if inode is not None and inode.version.dominates(attrs["version"]):
+            return None  # already current
+        if attrs["deleted"]:
+            yield from self._apply_remote_delete(gfile, attrs)
+            return None
+        if (inode is not None and inode.has_data
+                and self.sid not in attrs["storage_sites"]):
+            # This pack's copy was dropped (a replica move is an add
+            # followed by a delete of a copy, section 2.2.1).
+            pack.drop_data(gfile[1])
+            inode.apply_attrs(attrs)
+            inode.has_data = False
+            self.site.cache.invalidate_file(*gfile)
+            return None
+        if inode is not None and inode.has_data:
+            # pages=None means "origin did not say what changed": full pull.
+            self.propagator.enqueue(gfile, attrs, p.get("pages"),
+                                    hint=p["origin"])
+        elif self.sid in attrs["storage_sites"]:
+            # A new file this pack should store: install and pull.
+            pack.install_inode(dict(attrs, ino=gfile[1]), has_data=True)
+            inode = pack.get_inode(gfile[1])
+            inode.version = VersionVector()  # we have no pages yet
+            inode.pages = []
+            self.propagator.enqueue(gfile, attrs, None, hint=p["origin"])
+        else:
+            pack.install_inode(dict(attrs, ino=gfile[1]), has_data=False)
+        return None
+
+    def _apply_remote_delete(self, gfile: Gfile, attrs: dict) -> Generator:
+        pack = self.local_pack(gfile[0])
+        inode = pack.get_inode(gfile[1])
+        had_data = inode is not None and inode.has_data
+        if inode is None:
+            pack.install_inode(dict(attrs, ino=gfile[1]), has_data=False)
+        else:
+            pack.drop_data(gfile[1])
+            inode.apply_attrs(attrs)
+            inode.has_data = False
+        self.site.cache.invalidate_file(*gfile)
+        yield from self.site.cpu(self.cost.disk_write)
+        if had_data:
+            yield from self._send_delete_seen(gfile, attrs)
+        return None
+
+    def _send_delete_seen(self, gfile: Gfile, attrs: dict) -> Generator:
+        """Tell the inode's controlling pack this site has seen the delete."""
+        owner = self._ino_owner_site(gfile)
+        if owner is None:
+            return None
+        payload = {"gfile": gfile, "seen_at": self.sid,
+                   "storage_sites": attrs["storage_sites"]}
+        if owner == self.sid:
+            yield from self.h_delete_seen(self.sid, payload)
+        else:
+            yield from self.site.oneway_quiet(owner, "fs.delete_seen",
+                                              payload)
+        return None
+
+    def _local_delete_seen(self, gfile: Gfile, attrs: dict) -> Generator:
+        pack = self.local_pack(gfile[0])
+        if pack is not None:
+            pack.drop_data(gfile[1])
+        yield from self._send_delete_seen(gfile, attrs)
+        return None
+
+    def _ino_owner_site(self, gfile: Gfile) -> Optional[int]:
+        sites = self.mount.pack_sites(gfile[0])
+        idx = pack_index_of(gfile[1])
+        if idx < len(sites):
+            return sites[idx]
+        return None
+
+    def h_delete_seen(self, src: int, p: dict) -> Generator:
+        """At the inode's controlling pack: 'when all the storage sites have
+        seen the delete, the inode can be reallocated' (section 2.3.7).
+
+        Before the number returns to the pool, every pack's tombstone entry
+        for it is reaped — a reused number starts a fresh version-vector
+        lineage, so stale tombstones must not linger to 'dominate' it.
+        """
+        gfile: Gfile = p["gfile"]
+        acks = self._delete_acks.setdefault(gfile, set())
+        acks.add(p["seen_at"])
+        acks.add(self.sid)
+        if set(p["storage_sites"]) <= acks:
+            for s in self.mount.pack_sites(gfile[0]):
+                if s == self.sid:
+                    self._reap_local(gfile, release=True)
+                else:
+                    yield from self.site.oneway_quiet(s, "fs.reap",
+                                                      {"gfile": gfile})
+            self._delete_acks.pop(gfile, None)
+        return None
+
+    def h_scrub_orphan(self, src: int, p: dict) -> Generator:
+        """Retire an inode that never became (or is no longer) referenced
+        by any directory entry: create-compensation and fsck repair.
+
+        Fans out to every pack site so data-holding replicas are retired
+        too, not just the copy at the site that noticed the orphan.
+        """
+        gfile: Gfile = p["gfile"]
+        pack = self.local_pack(gfile[0])
+        inode = pack.get_inode(gfile[1]) if pack else None
+        if inode is not None:
+            inode.deleted = True
+            pack.drop_data(gfile[1])
+            self._reap_local(gfile, release=pack.owns_ino(gfile[1]))
+        if p.get("fanout", True):
+            for s in self.mount.pack_sites(gfile[0]):
+                if s != self.sid:
+                    yield from self.site.oneway_quiet(
+                        s, "fs.scrub_orphan",
+                        {"gfile": gfile, "fanout": False})
+        return None
+
+    def h_reap(self, src: int, p: dict) -> Generator:
+        self._reap_local(p["gfile"], release=False)
+        return None
+        yield  # pragma: no cover
+
+    def _reap_local(self, gfile: Gfile, release: bool) -> None:
+        pack = self.local_pack(gfile[0])
+        if pack is not None:
+            inode = pack.get_inode(gfile[1])
+            if inode is not None and inode.deleted:
+                if release and pack.owns_ino(gfile[1]):
+                    pack.release_inode(gfile[1])
+                else:
+                    pack.inodes.pop(gfile[1], None)
+        self.known_latest.pop(gfile, None)
+        self.css_entries.pop(gfile, None)
+        so = self.ss.get(gfile)
+        if so is not None and so.total_users == 0:
+            self.ss.pop(gfile, None)   # never reuse a dead incarnation
+        self.site.cache.invalidate_file(*gfile)
+
+    # ------------------------------------------------------------------
+    # Close (section 2.3.3)
+    # ------------------------------------------------------------------
+
+    def close(self, handle: UsHandle) -> Generator:
+        if handle.closed:
+            raise EBADF("double close")
+        # "Closing a file commits it" (section 2.3.6).
+        if handle.mode.writable and handle.dirty:
+            yield from self.commit(handle)
+        handle.closed = True
+        self.us.pop(handle.hid, None)
+        gfile = handle.gfile
+        if handle.ss_site == self.sid:
+            yield from self._ss_close_local(gfile, handle.mode, self.sid)
+        elif handle.sync:
+            yield from self.site.rpc(handle.ss_site, "fs.close", {
+                "gfile": gfile, "mode": handle.mode,
+            })
+            self.site.cache.invalidate_file(*gfile)
+        else:
+            yield from self.site.oneway_quiet(handle.ss_site,
+                                              "fs.close_unsync",
+                                              {"gfile": gfile})
+            self.site.cache.invalidate_file(*gfile)
+        return None
+
+    def h_close(self, src: int, p: dict) -> Generator:
+        yield from self._ss_close_local(p["gfile"], p["mode"], src)
+        return None
+
+    def h_close_unsync(self, src: int, p: dict) -> Generator:
+        so = self.ss.get(p["gfile"])
+        if so is not None:
+            so.drop_user(src, Mode.UNSYNC)
+            self._maybe_drop_ss(p["gfile"], so)
+        return None
+        yield  # pragma: no cover
+
+    def _ss_close_local(self, gfile: Gfile, mode: Mode, us: int) -> Generator:
+        so = self.ss.get(gfile)
+        if so is None:
+            return None
+        so.drop_user(us, mode)
+        if mode.synchronized:
+            css = self.mount.css_for(gfile[0])
+            payload = {"gfile": gfile, "us": us, "mode": mode}
+            if css == self.sid:
+                yield from self.h_css_ss_close(self.sid, payload)
+            else:
+                try:
+                    yield from self.site.rpc(css, "fs.css_ss_close", payload)
+                except NetworkError:
+                    pass  # reconfiguration will rebuild the CSS state
+        self._maybe_drop_ss(gfile, so)
+        return None
+
+    def h_css_ss_close(self, src: int, p: dict) -> Generator:
+        entry = self.css_entries.get(p["gfile"])
+        if entry is not None:
+            entry.note_close(p["us"], p["mode"])
+            if not entry.in_use:
+                # State data that "might affect its next synchronization
+                # policy decision" is updated; idle entries may be dropped.
+                self.css_entries.pop(p["gfile"], None)
+        return None
+        yield  # pragma: no cover
+
+    def _maybe_drop_ss(self, gfile: Gfile, so: SsOpen) -> None:
+        if so.total_users == 0:
+            if so.shadow.dirty:
+                so.shadow.abort()
+            self.ss.pop(gfile, None)
+
+    # ------------------------------------------------------------------
+    # File creation (section 2.3.7)
+    # ------------------------------------------------------------------
+
+    def h_create_file(self, src: int, p: dict) -> Generator:
+        """At the primary storage site: allocate an inode from the local
+        pack's pool (the placeholder protocol) and commit version 1."""
+        pack = self.local_pack(p["gfs"])
+        if pack is None:
+            raise ESTALE(f"site {self.sid} holds no pack of fg {p['gfs']}")
+        inode = pack.alloc_inode(ftype=p["ftype"], owner=p["owner"],
+                                 perms=p["perms"],
+                                 storage_sites=p["storage_sites"])
+        inode.version = VersionVector().bump(self.sid)
+        inode.mtime = self.site.sim.now
+        yield from self.site.cpu(self.cost.disk_write)
+        gfile = (p["gfs"], inode.ino)
+        attrs = inode.attrs()
+        # Let the other packs learn of the new file.
+        yield from self._after_commit(gfile, attrs, [])
+        return attrs
+
+    # ------------------------------------------------------------------
+    # Propagation pull service (section 2.3.6: data is "pulled")
+    # ------------------------------------------------------------------
+
+    def h_pull_open(self, src: int, p: dict) -> Generator:
+        inode = self.local_inode(p["gfile"])
+        if inode is None or not inode.has_data or inode.deleted:
+            raise ENOENT(f"{p['gfile']} has no data at site {self.sid}")
+        yield from self.site.cpu(self.cost.buffer_hit)
+        return inode.attrs()
+
+    def h_pull_read(self, src: int, p: dict) -> Generator:
+        """Serve one *committed* page to a propagation pull.
+
+        Deliberately bypasses the buffer cache: the cache at a storage site
+        holds the incore (possibly staged, uncommitted) page content for
+        open-for-modification files, while propagation must only ever see
+        the last committed version.
+        """
+        data = yield from self._committed_block(p["gfile"], p["page"])
+        return data
+
+    # ------------------------------------------------------------------
+    # Recovery support
+    # ------------------------------------------------------------------
+
+    def h_invalidate_file(self, src: int, p: dict) -> Generator:
+        self.site.cache.invalidate_file(*p["gfile"])
+        return None
+        yield  # pragma: no cover
+
+    def h_install_merged(self, src: int, p: dict) -> Generator:
+        """Install a reconciled file version (recovery's write path).
+
+        The content arrives whole; it is committed under the merged version
+        vector bumped at this site, so it dominates every divergent copy and
+        normal propagation distributes it.
+        """
+        gfile: Gfile = p["gfile"]
+        pack = self.local_pack(gfile[0])
+        if pack is None:
+            raise ESTALE(f"site {self.sid} holds no pack of fg {gfile[0]}")
+        inode = pack.get_inode(gfile[1])
+        if inode is None:
+            pack.install_inode({
+                "ino": gfile[1], "ftype": p["ftype"], "size": 0,
+                "owner": p["owner"], "perms": p["perms"],
+                "nlink": p["nlink"], "version": VersionVector(),
+                "deleted": False, "storage_sites": p["storage_sites"],
+                "conflict": False, "mtime": self.site.sim.now,
+            }, has_data=True)
+        shadow = ShadowFile(pack, gfile[1])
+        shadow.truncate()
+        data: bytes = p["data"]
+        psz = self.cost.page_size
+        for page in range((len(data) + psz - 1) // psz):
+            shadow.write_page(page, data[page * psz:(page + 1) * psz])
+            yield from self.site.cpu(self.cost.disk_write)
+        shadow.set_attrs(size=len(data), ftype=p["ftype"], owner=p["owner"],
+                         perms=p["perms"], nlink=p["nlink"],
+                         storage_sites=list(p["storage_sites"]),
+                         deleted=False, conflict=False, has_data=True)
+        merged_vv = p["base_vv"].bump(self.sid)
+        shadow.commit(new_version=merged_vv, mtime=self.site.sim.now)
+        yield from self.site.cpu(self.cost.disk_write)
+        self.site.cache.invalidate_file(*gfile)
+        attrs = pack.get_inode(gfile[1]).attrs()
+        # pages=None: receivers must full-pull (the whole content changed).
+        yield from self._after_commit(gfile, attrs, None)
+        return attrs
+
+    def h_mark_conflict(self, src: int, p: dict) -> Generator:
+        """Flag divergent copies so normal access attempts fail
+        (section 4.6); the flag clears when a reconciled version arrives."""
+        inode = self.local_inode(p["gfile"])
+        if inode is not None:
+            inode.conflict = True
+            self.site.cache.invalidate_file(*p["gfile"])
+        return None
+        yield  # pragma: no cover
+
+    def h_pack_inventory(self, src: int, p: dict) -> Generator:
+        pack = self.local_pack(p["gfs"])
+        if pack is None:
+            return {}
+        yield from self.site.cpu(self.cost.disk_read)
+        return pack.inventory()
+
+    def h_css_rebuild(self, src: int, p: dict) -> Generator:
+        """Report local open-file state so a new CSS can reconstruct its
+        lock table after reconfiguration (section 5.6)."""
+        gfs = p["gfs"]
+        report = []
+        for handle in self.us.values():
+            if handle.gfile[0] == gfs and handle.sync and not handle.closed:
+                report.append({"gfile": handle.gfile,
+                               "mode": handle.mode,
+                               "us": self.sid,
+                               "ss": handle.ss_site})
+        yield from self.site.cpu(self.cost.buffer_hit)
+        return report

@@ -1,0 +1,116 @@
+"""Logical filegroups and the replicated mount table.
+
+"Gluing together a collection of filegroups to construct the uniform naming
+tree is done via the mount mechanism ...  The glue which allows smooth path
+traversals up and down the expanded naming tree is kept as operating system
+state information.  Currently this state information is replicated at all
+sites" (paper section 2.1).  The reconfiguration protocols require that the
+mount hierarchy be the same at all sites (section 5.1), which the cluster
+builder guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import EINVAL
+from repro.fs.types import Gfile
+from repro.storage.pack import ROOT_INO
+
+
+@dataclass
+class FilegroupInfo:
+    """One logical filegroup: a wholly self-contained naming subtree.
+
+    ``pack_sites`` is ordered: position in the list is the pack index, which
+    determines each pack's private inode-number pool.
+    """
+
+    gfs: int
+    name: str
+    pack_sites: List[int] = field(default_factory=list)
+    mounted_on: Optional[Gfile] = None      # (gfs, ino) of the mount point
+
+    def pack_index_of_site(self, site_id: int) -> Optional[int]:
+        try:
+            return self.pack_sites.index(site_id)
+        except ValueError:
+            return None
+
+
+class MountTable:
+    """Per-site replica of the filegroup / mount / CSS state."""
+
+    def __init__(self):
+        self.groups: Dict[int, FilegroupInfo] = {}
+        self.css: Dict[int, int] = {}                 # gfs -> CSS site
+        self.mounts_at: Dict[Gfile, int] = {}         # mount point -> child gfs
+
+    # -- filegroups -----------------------------------------------------
+
+    def add_filegroup(self, info: FilegroupInfo) -> None:
+        if info.gfs in self.groups:
+            raise EINVAL(f"filegroup {info.gfs} already known")
+        self.groups[info.gfs] = info
+        if info.mounted_on is not None:
+            self.mounts_at[info.mounted_on] = info.gfs
+
+    def filegroup(self, gfs: int) -> FilegroupInfo:
+        info = self.groups.get(gfs)
+        if info is None:
+            raise EINVAL(f"unknown filegroup {gfs}")
+        return info
+
+    def pack_sites(self, gfs: int) -> List[int]:
+        return list(self.filegroup(gfs).pack_sites)
+
+    # -- CSS ----------------------------------------------------------------
+
+    def css_for(self, gfs: int) -> int:
+        css = self.css.get(gfs)
+        if css is None:
+            raise EINVAL(f"no CSS assigned for filegroup {gfs}")
+        return css
+
+    def set_css(self, gfs: int, site_id: int) -> None:
+        self.filegroup(gfs)  # validate
+        self.css[gfs] = site_id
+
+    def elect_css(self, gfs: int, members: "set[int]") -> Optional[int]:
+        """Pick the CSS among partition members: the lowest-numbered member
+        holding a pack, falling back to the lowest member (the CSS need not
+        store any particular file, section 2.3.1)."""
+        candidates = [s for s in self.filegroup(gfs).pack_sites
+                      if s in members]
+        if candidates:
+            return min(candidates)
+        return min(members) if members else None
+
+    # -- mount crossings ------------------------------------------------------
+
+    def crossing(self, gfile: Gfile) -> Optional[Gfile]:
+        """If ``gfile`` is a mount point, the mounted filegroup's root."""
+        child_gfs = self.mounts_at.get(gfile)
+        if child_gfs is None:
+            return None
+        return (child_gfs, ROOT_INO)
+
+    def parent_of_root(self, gfs: int) -> Optional[Gfile]:
+        """Where '..' leads from a filegroup root (the mount point's dir)."""
+        return self.filegroup(gfs).mounted_on
+
+    # -- replication ---------------------------------------------------------
+
+    def clone(self) -> "MountTable":
+        """An independent per-site replica of this table."""
+        other = MountTable()
+        for info in self.groups.values():
+            other.groups[info.gfs] = FilegroupInfo(
+                gfs=info.gfs, name=info.name,
+                pack_sites=list(info.pack_sites),
+                mounted_on=info.mounted_on)
+            if info.mounted_on is not None:
+                other.mounts_at[info.mounted_on] = info.gfs
+        other.css = dict(self.css)
+        return other

@@ -1,0 +1,401 @@
+"""Pathname searching (paper section 2.3.4) and hidden directories (2.4.1).
+
+Pathnames start from the root or the process's working directory.  Each
+directory on the path is opened with an internal unsynchronized read — no
+global locking — and its pages are read "in the same manner as other file
+data pages", which is why remote directories cost network messages here.
+
+Hidden directories implement context-sensitive names: when pathname search
+hits an inode of type HIDDEN_DIR, the directory "is examined for a match
+with the process's context rather than the next component of the pathname".
+An escape (``hidden_visible``) makes hidden directories visible so specific
+entries can be examined and manipulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.errors import EINVAL, ENOENT, ENOTDIR, NetworkError
+from repro.fs.directory import DirView, decode_entries
+from repro.fs.types import Gfile, Mode, ROOT_GFS
+from repro.storage.inode import FileType
+from repro.storage.pack import ROOT_INO
+
+ROOT_GFILE: Gfile = (ROOT_GFS, ROOT_INO)
+
+
+@dataclass
+class Leaf:
+    """A resolved final path component."""
+
+    gfile: Gfile
+    ftype: FileType
+
+
+class PathMixin:
+    """Pathname machinery; mixed into :class:`FsManager`."""
+
+    # -- attribute fetch -------------------------------------------------
+
+    def _fetch_attrs_anywhere(self, gfile: Gfile) -> Generator:
+        """Inode attributes from the freshest convenient place: the local
+        pack if present, else any reachable pack site of the filegroup."""
+        inode = self.local_inode(gfile)
+        if inode is not None:
+            yield from self.site.cpu(self.cost.buffer_hit)
+            return inode.attrs()
+        for s in self.mount.pack_sites(gfile[0]):
+            if s == self.sid:
+                continue
+            try:
+                attrs = yield from self.site.rpc(s, "fs.fetch_attrs",
+                                                 {"gfile": gfile})
+                return attrs
+            except (ENOENT, NetworkError):
+                continue
+        raise ENOENT(f"gfile {gfile}: no pack site reachable")
+
+    # -- directory reading -------------------------------------------------
+
+    def read_dir_entries(self, gfile: Gfile) -> Generator:
+        """Read and decode one directory via an unsynchronized open.
+
+        A multi-page interrogation can race a commit and tear (half old
+        pages, half new); the codec detects the tear and the read retries
+        against the fresh committed state.  Each individual entry operation
+        is atomic, so a clean decode is a consistent picture (§2.3.4).
+        """
+        last_error: Optional[Exception] = None
+        for attempt in range(8):
+            handle = yield from self.open_gfile(gfile, Mode.UNSYNC)
+            try:
+                if handle.attrs["ftype"] not in (FileType.DIRECTORY,
+                                                 FileType.HIDDEN_DIR):
+                    raise ENOTDIR(f"gfile {gfile}")
+                data = yield from self.read(handle, 0, handle.size)
+            finally:
+                yield from self.close(handle)
+            try:
+                entries = decode_entries(data)
+            except ValueError as exc:
+                last_error = exc
+                self.site.cache.invalidate_file(*gfile)
+                yield 1.0 + attempt
+                continue
+            yield from self.site.cpu(self.cost.cpu_dir_entry * max(
+                1, len(entries)))
+            return entries
+        raise EINVAL(f"directory {gfile} unreadable after retries: "
+                     f"{last_error}")
+
+    # -- walking -----------------------------------------------------------
+
+    def _start_dir(self, proc, path: str) -> Gfile:
+        if path.startswith("/"):
+            return ROOT_GFILE
+        if proc is not None and getattr(proc, "cwd", None) is not None:
+            return proc.cwd
+        return ROOT_GFILE
+
+    def _split(self, path: str) -> List[str]:
+        if not isinstance(path, str) or not path:
+            raise EINVAL(f"bad path {path!r}")
+        return [c for c in path.split("/") if c and c != "."]
+
+    def walk(self, proc, path: str,
+             follow_leaf_hidden: bool = True) -> Generator:
+        """Resolve a pathname.
+
+        Returns ``(parent_gfile, leaf_name, leaf)`` where ``leaf`` is a
+        :class:`Leaf` or None when the final component does not exist.
+        For the root itself, ``parent_gfile`` and ``leaf_name`` are None.
+        """
+        current = self._start_dir(proc, path)
+        comps = self._split(path)
+        if not comps:
+            return None, None, Leaf(current, FileType.DIRECTORY)
+        if self.cost.pathname_shipping:
+            result = yield from self._walk_shipped(
+                proc, current, comps, follow_leaf_hidden)
+            return result
+        result = yield from self._walk_from(proc, current, comps, 0,
+                                            follow_leaf_hidden)
+        return result
+
+    def _walk_from(self, proc, current: Gfile, comps: List[str],
+                   start_index: int,
+                   follow_leaf_hidden: bool) -> Generator:
+        """The component-by-component interrogation loop (section 2.3.4)."""
+        path = "/".join(comps)
+        hidden_visible = bool(proc and getattr(proc, "hidden_visible", False))
+
+        i = start_index
+        parent: Optional[Gfile] = None
+        while i < len(comps):
+            comp = comps[i]
+            last = (i == len(comps) - 1)
+            if comp == "..":
+                current = yield from self._dotdot(current)
+                if last:
+                    return None, None, Leaf(current, FileType.DIRECTORY)
+                i += 1
+                continue
+            entries = yield from self.read_dir_entries(current)
+            view = DirView(entries)
+            entry = view.lookup(comp)
+            if entry is None:
+                if last:
+                    return current, comp, None
+                raise ENOENT(f"{comp!r} in path {path!r}")
+            child: Gfile = (current[0], entry.ino)
+            ftype = entry.ftype
+            # Mount crossing: descend into the mounted filegroup's root.
+            crossed = self.mount.crossing(child)
+            if crossed is not None:
+                child = crossed
+                ftype = FileType.DIRECTORY
+            # Hidden directory: substitute the per-process context match.
+            if ftype is FileType.HIDDEN_DIR and not hidden_visible and (
+                    not last or follow_leaf_hidden):
+                parent = child
+                child, ftype = yield from self._resolve_hidden(proc, child)
+                if last:
+                    return parent, comp, Leaf(child, ftype)
+            if last:
+                return current, comp, Leaf(child, ftype)
+            if ftype not in (FileType.DIRECTORY, FileType.HIDDEN_DIR):
+                raise ENOTDIR(f"{comp!r} in path {path!r}")
+            parent = current
+            current = child
+            i += 1
+        raise AssertionError("unreachable")
+
+    def _dotdot(self, current: Gfile) -> Generator:
+        """One step up, handling filegroup-root crossings."""
+        if current[1] == ROOT_INO:
+            mount_point = self.mount.parent_of_root(current[0])
+            if mount_point is None:
+                return current  # '/..' is '/'
+            current = mount_point
+        entries = yield from self.read_dir_entries(current)
+        view = DirView(entries)
+        entry = view.lookup("..")
+        if entry is None:
+            return current
+        return (current[0], entry.ino)
+
+    def _resolve_hidden(self, proc, hidden: Gfile) -> Generator:
+        """Pick the entry matching the process's context (section 2.4.1)."""
+        context = list(getattr(proc, "hidden_context", []) or []) if proc \
+            else []
+        entries = yield from self.read_dir_entries(hidden)
+        view = DirView(entries)
+        for ctx_name in context:
+            entry = view.lookup(ctx_name)
+            if entry is not None:
+                child: Gfile = (hidden[0], entry.ino)
+                crossed = self.mount.crossing(child)
+                if crossed is not None:
+                    return crossed, FileType.DIRECTORY
+                return child, entry.ftype
+        raise ENOENT(f"no context match in hidden directory {hidden} "
+                     f"(context={context})")
+
+    # -- pathname shipping (the section 2.3.4 extension) ----------------------
+
+    def _walk_shipped(self, proc, current: Gfile, comps: List[str],
+                      follow_leaf_hidden: bool) -> Generator:
+        """Resolve by shipping partial pathnames: expand locally as far as
+        possible, then hand the remainder to a site storing the next
+        directory; resume on return (the SS for each intermediate directory
+        can differ)."""
+        context = list(getattr(proc, "hidden_context", []) or []) \
+            if proc else []
+        hidden_visible = bool(proc and getattr(proc, "hidden_visible",
+                                               False))
+        i = 0
+        for __ in range(64):   # progress guard
+            out = yield from self._ship_expand_local(
+                context, hidden_visible, current, comps, i,
+                follow_leaf_hidden)
+            if out["st"] == "done":
+                return out["parent"], out["name"], out["leaf"]
+            if out["st"] == "error":
+                raise out["exc"]
+            current, i = out["current"], out["i"]
+            attrs = yield from self._fetch_attrs_anywhere(current)
+            targets = [s for s in attrs["storage_sites"] if s != self.sid]
+            if not targets:
+                break   # nobody to ship to: interrogate page by page
+            try:
+                out = yield from self.site.rpc(targets[0], "fs.walk_path", {
+                    "current": current, "comps": comps, "i": i,
+                    "hidden_context": context,
+                    "hidden_visible": hidden_visible,
+                    "follow_leaf_hidden": follow_leaf_hidden,
+                })
+            except NetworkError:
+                break
+            if out["st"] == "done":
+                return out["parent"], out["name"], out["leaf"]
+            if out["st"] == "error":
+                raise out["exc"]
+            if (out["current"], out["i"]) == (current, i):
+                break   # the remote made no progress either: fall back
+            current, i = out["current"], out["i"]
+        result = yield from self._walk_from(proc, current, comps, i,
+                                            follow_leaf_hidden)
+        return result
+
+    def h_walk_path(self, src: int, p: dict) -> Generator:
+        """Serve a shipped partial pathname: expand over local directories
+        and return either the answer or the resume point."""
+        out = yield from self._ship_expand_local(
+            list(p["hidden_context"]), p["hidden_visible"],
+            tuple(p["current"]), list(p["comps"]), p["i"],
+            p["follow_leaf_hidden"])
+        return out
+
+    def _local_dir_entries(self, gfile: Gfile) -> Generator:
+        """Committed entries of a directory stored cleanly at this site, or
+        None when expansion here cannot continue."""
+        pack = self.site.packs.get(gfile[0])
+        inode = pack.get_inode(gfile[1]) if pack else None
+        if (inode is None or not inode.has_data or inode.deleted
+                or inode.conflict
+                or self.propagator.is_pending(gfile)
+                or (self.site.recovery is not None
+                    and self.site.recovery.needs(gfile))):
+            return None
+        if inode.ftype not in (FileType.DIRECTORY, FileType.HIDDEN_DIR):
+            raise ENOTDIR(f"gfile {gfile}")
+        psz = self.cost.page_size
+        from repro.fs.directory import decode_entries as _decode
+        for attempt in range(8):
+            version_before = inode.version
+            size = inode.size
+            chunks = []
+            for page in range((size + psz - 1) // psz):
+                data = yield from self._committed_block(gfile, page)
+                chunks.append(data.ljust(psz, b"\x00"))
+            try:
+                entries = _decode(b"".join(chunks)[:size])
+            except ValueError:
+                entries = None
+            inode = self.site.packs[gfile[0]].get_inode(gfile[1])
+            if inode is None or not inode.has_data or inode.deleted:
+                return None
+            if entries is not None and inode.version == version_before:
+                yield from self.site.cpu(self.cost.cpu_dir_entry
+                                         * max(1, len(entries)))
+                return entries
+            self.site.cache.invalidate_file(*gfile)
+            yield 1.0 + attempt    # torn by a concurrent commit: retry
+        return None   # persistently contended: let the caller fall back
+
+    def _ship_expand_local(self, context, hidden_visible, current: Gfile,
+                           comps: List[str], i: int,
+                           follow_leaf_hidden: bool) -> Generator:
+        """Expand components while every needed directory is local."""
+        path = "/".join(comps)
+
+        def stuck():
+            return {"st": "continue", "current": current, "i": i}
+
+        def err(exc):
+            return {"st": "error", "exc": exc}
+
+        while i < len(comps):
+            comp = comps[i]
+            last = (i == len(comps) - 1)
+            if comp == "..":
+                up = current
+                if up[1] == ROOT_INO:
+                    mount_point = self.mount.parent_of_root(up[0])
+                    if mount_point is None:
+                        if last:
+                            return {"st": "done", "parent": None,
+                                    "name": None,
+                                    "leaf": Leaf(up, FileType.DIRECTORY)}
+                        i += 1
+                        continue
+                    up = mount_point
+                entries = yield from self._local_dir_entries(up)
+                if entries is None:
+                    return stuck()
+                parent_entry = DirView(entries).lookup("..")
+                current = (up[0], parent_entry.ino) if parent_entry else up
+                if last:
+                    return {"st": "done", "parent": None, "name": None,
+                            "leaf": Leaf(current, FileType.DIRECTORY)}
+                i += 1
+                continue
+            try:
+                entries = yield from self._local_dir_entries(current)
+            except ENOTDIR:
+                return err(ENOTDIR(f"{comp!r} in path {path!r}"))
+            if entries is None:
+                return stuck()
+            entry = DirView(entries).lookup(comp)
+            if entry is None:
+                if last:
+                    return {"st": "done", "parent": current, "name": comp,
+                            "leaf": None}
+                return err(ENOENT(f"{comp!r} in path {path!r}"))
+            child: Gfile = (current[0], entry.ino)
+            ftype = entry.ftype
+            crossed = self.mount.crossing(child)
+            if crossed is not None:
+                child = crossed
+                ftype = FileType.DIRECTORY
+            if ftype is FileType.HIDDEN_DIR and not hidden_visible and (
+                    not last or follow_leaf_hidden):
+                hidden_entries = yield from self._local_dir_entries(child)
+                if hidden_entries is None:
+                    return stuck()
+                view = DirView(hidden_entries)
+                match = None
+                for ctx_name in context:
+                    match = view.lookup(ctx_name)
+                    if match is not None:
+                        break
+                if match is None:
+                    return err(ENOENT(
+                        f"no context match in hidden directory {child} "
+                        f"(context={context})"))
+                hidden_parent = child
+                child = (child[0], match.ino)
+                ftype = match.ftype
+                crossed = self.mount.crossing(child)
+                if crossed is not None:
+                    child = crossed
+                    ftype = FileType.DIRECTORY
+                if last:
+                    return {"st": "done", "parent": hidden_parent,
+                            "name": comp, "leaf": Leaf(child, ftype)}
+            if last:
+                return {"st": "done", "parent": current, "name": comp,
+                        "leaf": Leaf(child, ftype)}
+            if ftype not in (FileType.DIRECTORY, FileType.HIDDEN_DIR):
+                return err(ENOTDIR(f"{comp!r} in path {path!r}"))
+            current = child
+            i += 1
+        raise AssertionError("unreachable")
+
+    # -- public conveniences -------------------------------------------------
+
+    def resolve_gfile(self, proc, path: str,
+                      follow_leaf_hidden: bool = True) -> Generator:
+        """Path to ``(gfile, ftype)``; raises ENOENT when missing."""
+        __, name, leaf = yield from self.walk(
+            proc, path, follow_leaf_hidden=follow_leaf_hidden)
+        if leaf is None:
+            raise ENOENT(path if name is None else f"{name!r} in {path!r}")
+        return leaf.gfile, leaf.ftype
+
+    def stat(self, proc, path: str) -> Generator:
+        gfile, __ = yield from self.resolve_gfile(proc, path)
+        attrs = yield from self._fetch_attrs_anywhere(gfile)
+        return attrs

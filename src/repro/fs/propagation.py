@@ -1,0 +1,253 @@
+"""Pull-based update propagation (paper section 2.3.6).
+
+"A queue of propagation requests is kept by the kernel at each site and a
+kernel process services the queue.  Propagation is done by 'pulling' the
+data ...  When each page arrives, the buffer that contains it is renamed and
+sent out to secondary storage ...  Note also that this propagation-in
+procedure uses the standard commit mechanism, so if contact is lost with the
+site containing the newer version, the local site is still left with a
+coherent, complete copy of the file, albeit still out of date."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Set
+
+from repro.errors import FsError, NetworkError
+from repro.fs.types import Gfile
+from repro.sim.sync import SimQueue
+from repro.storage.shadow import ShadowFile
+from repro.storage.version_vector import VersionVector
+
+_ATTR_FIELDS = ("size", "owner", "perms", "nlink", "ftype",
+                "storage_sites", "mtime", "conflict")
+
+_MAX_DEFERRALS = 20
+_DEFER_DELAY = 25.0
+
+
+@dataclass
+class PropStats:
+    pulls: int = 0
+    pages_pulled: int = 0
+    delta_pulls: int = 0
+    full_pulls: int = 0
+    skipped: int = 0
+    deferred: int = 0
+    failed: int = 0
+
+
+@dataclass
+class _Request:
+    gfile: Gfile
+    attrs: dict
+    pages: Optional[List[int]]    # None forces a full pull
+    hint: int                     # site that announced the new version
+    deferrals: int = 0
+
+
+class Propagator:
+    """Per-site kernel process that brings local copies up to date."""
+
+    def __init__(self, fs):
+        self.fs = fs
+        self.site = fs.site
+        self.queue = SimQueue(self.site.sim,
+                              name=f"prop@{self.site.site_id}")
+        self._pending: Set[Gfile] = set()
+        # Files whose pull is in flight right now: storage-site opens must
+        # not snapshot the pack mid-pull (they would later commit over it).
+        self._pulling: Set[Gfile] = set()
+        self._task = None
+        self.stats = PropStats()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None or self._task.finished:
+            self._task = self.site.spawn(self._run(),
+                                         name=f"propagator@{self.site.site_id}")
+
+    def reset(self) -> None:
+        """Crash: queued requests are volatile (recovery re-derives them).
+
+        The queue is recreated: the dead kernel process may have left a
+        stale getter registered, which would otherwise swallow the first
+        request enqueued after restart.
+        """
+        self.queue = SimQueue(self.site.sim,
+                              name=f"prop@{self.site.site_id}")
+        self._pending.clear()
+        self._task = None
+
+    def is_pending(self, gfile: Gfile) -> bool:
+        return gfile in self._pending
+
+    def is_pulling(self, gfile: Gfile) -> bool:
+        return gfile in self._pulling
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending
+
+    # -- intake -------------------------------------------------------------
+
+    def enqueue(self, gfile: Gfile, attrs: dict,
+                pages: Optional[List[int]], hint: int) -> None:
+        self._pending.add(gfile)
+        self.queue.put(_Request(gfile=gfile, attrs=attrs,
+                                pages=pages, hint=hint))
+        self.start()
+
+    # -- the kernel process ----------------------------------------------------
+
+    def _run(self) -> Generator:
+        while True:
+            req = yield from self.queue.get()
+            try:
+                yield from self._service(req)
+            except NetworkError:
+                # Contact lost mid-pull: the shadow mechanism already left a
+                # coherent old copy.  Retry later — the source (or another
+                # holder) may come back; the recovery sweep also covers us
+                # at the next membership change.
+                self.stats.failed += 1
+                self._pulling.discard(req.gfile)
+                req.deferrals += 1
+                if req.deferrals <= _MAX_DEFERRALS:
+                    self.site.sim.schedule(_DEFER_DELAY * req.deferrals,
+                                           self.queue.put, req)
+                else:
+                    self._pending.discard(req.gfile)
+            except FsError:
+                self.stats.failed += 1
+                self._pulling.discard(req.gfile)
+                self._pending.discard(req.gfile)
+
+    def _service(self, req: _Request) -> Generator:
+        fs = self.fs
+        gfile = req.gfile
+        pack = fs.local_pack(gfile[0])
+        inode = pack.get_inode(gfile[1]) if pack else None
+        if inode is None:
+            self.stats.skipped += 1
+            self._pending.discard(gfile)
+            return None
+        if (inode.deleted or not inode.has_data) and \
+                self.site.site_id not in req.attrs["storage_sites"]:
+            # Not a resurrection target; nothing to pull into.
+            self.stats.skipped += 1
+            self._pending.discard(gfile)
+            return None
+        target_vv: VersionVector = req.attrs["version"]
+        if inode.version.dominates(target_vv):
+            self.stats.skipped += 1
+            self._pending.discard(gfile)
+            return None
+        if inode.version.conflicts(target_vv):
+            # Divergent histories cannot be propagated over; recovery's
+            # type-specific merge handles this (section 4).
+            self.stats.skipped += 1
+            self._pending.discard(gfile)
+            return None
+        if gfile in fs.ss:
+            # The file is open locally; retry once the activity drains.
+            req.deferrals += 1
+            self.stats.deferred += 1
+            if req.deferrals <= _MAX_DEFERRALS:
+                self.site.sim.schedule(_DEFER_DELAY, self.queue.put, req)
+            else:
+                self._pending.discard(gfile)
+            return None
+        yield from self._pull(req, pack, inode.version)
+        self._pending.discard(gfile)
+        return None
+
+    def _pull(self, req: _Request, pack, local_vv: VersionVector) -> Generator:
+        """Internally open the file at a site with the latest version and
+        page the changes (or the whole file) across."""
+        fs = self.fs
+        gfile = req.gfile
+        source, remote_attrs = yield from self._open_source(req)
+        target_vv = remote_attrs["version"]
+        if local_vv.dominates(target_vv):
+            self.stats.skipped += 1
+            return None
+
+        # Delta pull is only sound when the remote version is exactly one
+        # commit (originated at the announcing site) ahead of our copy, and
+        # the file did not shrink (shrinks need the page list rebuilt).
+        psz = fs.cost.page_size
+        n_pages = (remote_attrs["size"] + psz - 1) // psz
+        local_inode = pack.get_inode(req.gfile[1])
+        delta_ok = (fs.cost.delta_propagation
+                    and req.pages is not None
+                    and remote_attrs["version"] == req.attrs["version"]
+                    and target_vv == local_vv.bump(req.hint)
+                    and local_inode is not None
+                    and not local_inode.deleted
+                    and local_inode.has_data
+                    and n_pages >= len(local_inode.pages))
+        pull_pages = (sorted(p for p in req.pages if p < n_pages)
+                      if delta_ok else list(range(n_pages)))
+        if delta_ok:
+            self.stats.delta_pulls += 1
+        else:
+            self.stats.full_pulls += 1
+
+        shadow = ShadowFile(pack, gfile[1])
+        self._pulling.add(gfile)
+        try:
+            if not delta_ok:
+                shadow.truncate()
+            for page in pull_pages:
+                data = yield from self.site.rpc(source, "fs.pull_read", {
+                    "gfile": gfile, "page": page,
+                })
+                shadow.write_page(page, data)
+                yield from self.site.cpu(fs.cost.disk_write)
+                self.stats.pages_pulled += 1
+            if gfile in fs.ss:
+                # A local open slipped in before the pull gate existed (or
+                # via an unsynchronized path): committing now would be
+                # clobbered by that open's stale shadow.  Defer instead.
+                shadow.abort()
+                req.deferrals += 1
+                self.stats.deferred += 1
+                if req.deferrals <= _MAX_DEFERRALS:
+                    self._pending.add(gfile)
+                    self.site.sim.schedule(_DEFER_DELAY, self.queue.put, req)
+                return None
+            shadow.set_attrs(**{k: remote_attrs[k] for k in _ATTR_FIELDS})
+            # Pulling a live version resurrects a locally-tombstoned copy
+            # (the undo-delete of section 4.4 rule d).
+            shadow.set_attrs(deleted=False, has_data=True)
+            shadow.commit(new_version=target_vv.copy(),
+                          mtime=remote_attrs["mtime"])
+        except BaseException:
+            shadow.abort()   # coherent, complete, out-of-date copy remains
+            raise
+        finally:
+            self._pulling.discard(gfile)
+        self.site.cache.invalidate_file(*gfile)
+        self.stats.pulls += 1
+        return None
+
+    def _open_source(self, req: _Request) -> Generator:
+        """Find a site holding the (at least) announced version."""
+        fs = self.fs
+        candidates = [req.hint] + [
+            s for s in req.attrs["storage_sites"]
+            if s not in (req.hint, self.site.site_id)]
+        last_exc: Optional[Exception] = None
+        for cand in candidates:
+            try:
+                attrs = yield from self.site.rpc(cand, "fs.pull_open",
+                                                 {"gfile": req.gfile})
+            except (FsError, NetworkError) as exc:
+                last_exc = exc
+                continue
+            if attrs["version"].dominates(req.attrs["version"]):
+                return cand, attrs
+        raise last_exc or NetworkError("no propagation source available")

@@ -1,0 +1,33 @@
+"""Shared filesystem types."""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+# A file's globally unique low-level name:
+# <logical filegroup number, file descriptor (inode) number> (section 2.2.2).
+Gfile = Tuple[int, int]
+
+ROOT_GFS = 0  # the filegroup mounted at /
+
+
+class Mode(enum.Enum):
+    """Open modes.
+
+    ``UNSYNC`` is the internal unsynchronized read used for pathname
+    searching (section 2.3.4): no global locking is done, and a local copy
+    can be used without informing the CSS.
+    """
+
+    READ = "read"
+    WRITE = "write"          # read-write, open-for-modification
+    UNSYNC = "unsync-read"   # internal, directory interrogation
+
+    @property
+    def writable(self) -> bool:
+        return self is Mode.WRITE
+
+    @property
+    def synchronized(self) -> bool:
+        return self is not Mode.UNSYNC

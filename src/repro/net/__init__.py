@@ -1,0 +1,17 @@
+"""Network substrate: messages, virtual circuits, partitions, statistics.
+
+The paper's low-level protocols are "the lowest level protocols in the
+system, except for some retransmission support.  Because multilayered support
+and error handling ... is not present, much higher performance has been
+achieved" (section 2.3.3).  We model exactly that: messages go site-to-site
+over in-order virtual circuits with a latency/bandwidth cost model, and the
+network can be physically partitioned.  Closing a virtual circuit aborts the
+activity in flight between the two sites (section 5.1), which is how kernels
+learn about failures.
+"""
+
+from repro.net.message import Message, MsgKind
+from repro.net.stats import NetStats
+from repro.net.network import Network
+
+__all__ = ["Message", "MsgKind", "NetStats", "Network"]

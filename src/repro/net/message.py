@@ -1,0 +1,79 @@
+"""Wire messages exchanged between LOCUS kernels."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MsgKind(enum.Enum):
+    REQUEST = "req"       # expects a RESPONSE with the same reqid
+    RESPONSE = "resp"
+    ONEWAY = "oneway"     # low-level ack only; no protocol-level response
+
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One kernel-to-kernel message.
+
+    ``mtype`` names the protocol operation (e.g. ``fs.open``); statistics are
+    aggregated by mtype so benchmarks can assert on the paper's message
+    counts (Figure 2: the general open is exactly four messages).
+    """
+
+    src: int
+    dst: int
+    mtype: str
+    kind: MsgKind
+    payload: Any = None
+    size: int = 0                     # payload bytes for the wire-time model
+    reqid: int = 0                    # request/response correlation
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def stat_key(self) -> str:
+        """Aggregation key: responses are counted under ``mtype.resp``."""
+        if self.kind is MsgKind.RESPONSE:
+            return f"{self.mtype}.resp"
+        return self.mtype
+
+    def __repr__(self) -> str:
+        return (f"<Msg #{self.msg_id} {self.src}->{self.dst} {self.mtype} "
+                f"{self.kind.value} {self.size}B>")
+
+
+def payload_size(payload: Any) -> int:
+    """Rough serialized size of a payload for the wire-time model.
+
+    Counts bytes/str content at face value, containers structurally, and
+    charges a small fixed size for scalars.  This only drives wire *time*;
+    protocol correctness never depends on it.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload)
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, dict):
+        # "__wire_bytes__" stands in for bulk data (e.g. a process image
+        # shipped by remote fork) without materializing the bytes.
+        extra = payload.get("__wire_bytes__", 0)
+        return extra + sum(payload_size(k) + payload_size(v)
+                           for k, v in payload.items()
+                           if k != "__wire_bytes__")
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(payload_size(v) for v in payload)
+    # Fallback for small structured objects (version vectors expose to_dict).
+    to_dict = getattr(payload, "to_dict", None)
+    if callable(to_dict):
+        return payload_size(to_dict())
+    return 16

@@ -1,0 +1,235 @@
+"""Partitionable message transport with virtual circuits.
+
+Physical connectivity (who *can* exchange packets) lives here; logical
+partition membership (who each kernel *believes* is up — the site tables of
+paper section 5.4) lives in each site's topology service.  The merge protocol
+relies on this distinction: it polls sites "thought to be down" and succeeds
+once the physical fault heals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set  # noqa: F401
+
+from repro.config import CostModel
+from repro.errors import SiteDown, Unreachable
+from repro.net.message import Message, MsgKind, payload_size
+from repro.net.stats import NetStats
+from repro.sim.simulator import Simulator
+
+DeliverFn = Callable[[Message], None]
+CircuitClosedFn = Callable[[int, str], None]
+
+
+class _Circuit:
+    """A virtual circuit between two sites.
+
+    The circuits deliver messages in the order sent; if a message is lost the
+    circuit is closed (section 5.1 footnote).  We track only open/closed
+    state — ordering is guaranteed because per-pair latency is constant and
+    the event queue is FIFO at equal timestamps.
+    """
+
+    __slots__ = ("pair", "open")
+
+    def __init__(self, pair: FrozenSet[int]):
+        self.pair = pair
+        self.open = True
+
+
+class Network:
+    """All sites, their physical connectivity, and in-flight messages."""
+
+    def __init__(self, sim: Simulator, cost: Optional[CostModel] = None):
+        self.sim = sim
+        self.cost = cost or CostModel()
+        self.stats = NetStats()
+        self._deliver_fns: Dict[int, DeliverFn] = {}
+        self._closed_fns: Dict[int, CircuitClosedFn] = {}
+        self._up: Set[int] = set()
+        self._group: Dict[int, int] = {}     # site -> physical segment id
+        self._circuits: Dict[FrozenSet[int], _Circuit] = {}
+        # Virtual circuits deliver in the order sent (section 5.1): a small
+        # message must never overtake a large one on the same circuit.
+        self._last_delivery: Dict[tuple, float] = {}
+        # Extra one-way latency per (src, dst) pair, for asymmetric topologies.
+        self.extra_latency: Dict[tuple, float] = {}
+        # Random per-message loss probability.  A lost message closes the
+        # virtual circuit (section 5.1 footnote: "If a message is lost, the
+        # circuit is closed"), so loss surfaces as failure detection, never
+        # as silent reordering.
+        self.loss_rate: float = 0.0
+
+    # -- membership -----------------------------------------------------
+
+    def register_site(self, site_id: int, deliver: DeliverFn,
+                      circuit_closed: CircuitClosedFn) -> None:
+        if site_id in self._deliver_fns:
+            raise ValueError(f"site {site_id} already registered")
+        self._deliver_fns[site_id] = deliver
+        self._closed_fns[site_id] = circuit_closed
+        self._up.add(site_id)
+        self._group[site_id] = 0
+
+    @property
+    def site_ids(self) -> List[int]:
+        return sorted(self._deliver_fns)
+
+    def is_up(self, site_id: int) -> bool:
+        return site_id in self._up
+
+    def reachable(self, a: int, b: int) -> bool:
+        """Physical reachability: both up and on the same segment."""
+        if a == b:
+            return a in self._up
+        return (a in self._up and b in self._up
+                and self._group.get(a) == self._group.get(b))
+
+    # -- topology control (test/benchmark harness API) -------------------
+
+    def set_partitions(self, groups: Iterable[Iterable[int]]) -> None:
+        """Physically split the network into the given segments.
+
+        Sites not mentioned keep their current segment.  Every previously
+        reachable pair that the split separates is notified at both ends
+        (kernels notice broken connectivity promptly: LOCUS sites exchange
+        traffic constantly, so a break surfaces as a failed circuit).
+        """
+        old_pairs = self._reachable_pairs()
+        for gid, members in enumerate(groups, start=1 + max(
+                self._group.values(), default=0)):
+            for site in members:
+                if site not in self._deliver_fns:
+                    raise ValueError(f"unknown site {site}")
+                self._group[site] = gid
+        self._notify_broken(old_pairs, "network partitioned")
+
+    def heal(self) -> None:
+        """Rejoin every site onto one physical segment (cable repaired).
+
+        Kernels do not learn about this directly — the merge protocol
+        discovers it by polling (section 5.5).
+        """
+        for site in self._group:
+            self._group[site] = 0
+
+    def fail_site(self, site_id: int) -> None:
+        """Crash a site: it stops receiving and all its circuits close."""
+        old_pairs = self._reachable_pairs()
+        self._up.discard(site_id)
+        self._notify_broken(old_pairs, f"site {site_id} failed")
+
+    def restore_site(self, site_id: int) -> None:
+        """Power the site back on (its storage survived the crash)."""
+        if site_id not in self._deliver_fns:
+            raise ValueError(f"unknown site {site_id}")
+        self._up.add(site_id)
+
+    # -- sending ----------------------------------------------------------
+
+    def latency(self, src: int, dst: int, size: int) -> float:
+        return (self.cost.message_delay(size)
+                + self.extra_latency.get((src, dst), 0.0))
+
+    def send(self, src: int, dst: int, msg: Message) -> None:
+        """Send a message over the (auto-opened) virtual circuit.
+
+        Raises :class:`Unreachable` immediately when no circuit can be opened
+        — this models the sender-side circuit failure the kernel would see.
+        """
+        if src == dst:
+            raise ValueError("local operations must not use the network")
+        if src not in self._up:
+            raise SiteDown(src)
+        if not self.reachable(src, dst):
+            raise Unreachable(src, dst)
+        circuit = self._ensure_circuit(src, dst)
+        if not circuit.open:
+            circuit.open = True
+            self.stats.circuits_opened += 1
+        self.stats.record_send(msg.stat_key(), msg.size)
+        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            self._close_circuit(frozenset((src, dst)), "message lost")
+            return
+        arrival = self.sim.now + self.latency(src, dst, msg.size)
+        key = (src, dst)
+        floor = self._last_delivery.get(key, 0.0)
+        if arrival <= floor:
+            arrival = floor + 1e-9      # FIFO: queue behind the predecessor
+        self._last_delivery[key] = arrival
+        self.sim.schedule(arrival - self.sim.now, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        """Delivery-time reachability check: a break in flight drops the
+        message and closes the circuit, which is how kernels detect the
+        failure (lost message => closed circuit)."""
+        if not self.reachable(msg.src, msg.dst):
+            self.stats.dropped += 1
+            self._close_circuit(frozenset((msg.src, msg.dst)),
+                                "message lost in flight")
+            return
+        self.stats.delivered += 1
+        self._deliver_fns[msg.dst](msg)
+
+    def make_message(self, src: int, dst: int, mtype: str, kind: MsgKind,
+                     payload, reqid: int = 0) -> Message:
+        return Message(src=src, dst=dst, mtype=mtype, kind=kind,
+                       payload=payload, size=payload_size(payload),
+                       reqid=reqid)
+
+    # -- circuits ----------------------------------------------------------
+
+    def _ensure_circuit(self, a: int, b: int) -> _Circuit:
+        pair = frozenset((a, b))
+        circuit = self._circuits.get(pair)
+        if circuit is None:
+            circuit = _Circuit(pair)
+            self._circuits[pair] = circuit
+            self.stats.circuits_opened += 1
+        return circuit
+
+    def _reachable_pairs(self) -> Set[FrozenSet[int]]:
+        up = sorted(self._up)
+        return {frozenset((a, b))
+                for i, a in enumerate(up) for b in up[i + 1:]
+                if self.reachable(a, b)}
+
+    def _notify_broken(self, old_pairs: Set[FrozenSet[int]],
+                       reason: str) -> None:
+        for pair in old_pairs:
+            a, b = tuple(pair)
+            if self.reachable(a, b):
+                continue
+            circuit = self._circuits.get(pair)
+            if circuit is not None and circuit.open:
+                self._close_circuit(pair, reason)
+                continue
+            # No circuit existed; still tell both live endpoints the peer
+            # became unreachable so the partition protocol runs.
+            for end, peer in ((a, b), (b, a)):
+                if end in self._up:
+                    notify = self._closed_fns.get(end)
+                    if notify is not None:
+                        self.sim.call_soon(notify, peer, reason)
+
+    def _close_circuit(self, pair: FrozenSet[int], reason: str) -> None:
+        circuit = self._circuits.get(pair)
+        if circuit is None or not circuit.open:
+            return
+        circuit.open = False
+        self.stats.circuits_closed += 1
+        a, b = tuple(pair)
+        for end, peer in ((a, b), (b, a)):
+            if end in self._up:
+                notify = self._closed_fns.get(end)
+                if notify is not None:
+                    # Notify asynchronously: kernels react on their own clock.
+                    self.sim.call_soon(notify, peer, reason)
+
+    def close_circuits_to(self, site_id: int, peers: Iterable[int],
+                          reason: str) -> None:
+        """Explicitly close circuits (logical partition removal, section 5.1:
+        "removal from a partition closes all relevant virtual circuits")."""
+        for peer in peers:
+            self._close_circuit(frozenset((site_id, peer)), reason)

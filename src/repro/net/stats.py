@@ -1,0 +1,94 @@
+"""Network statistics: message counts and bytes, aggregated by message type.
+
+The reproduction benchmarks assert on these counters: Figure 2's open
+protocol, the two-message network read, the one-message write, and the
+four-message close are all verified by counting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class NetStats:
+    sent: Counter = field(default_factory=Counter)          # mtype -> messages
+    bytes_sent: Counter = field(default_factory=Counter)    # mtype -> bytes
+    delivered: int = 0
+    dropped: int = 0
+    circuits_opened: int = 0
+    circuits_closed: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent.values())
+
+    def record_send(self, stat_key: str, size: int) -> None:
+        self.sent[stat_key] += 1
+        self.bytes_sent[stat_key] += size
+
+    def snapshot(self) -> "StatsSnapshot":
+        return StatsSnapshot(
+            sent=Counter(self.sent),
+            bytes_sent=Counter(self.bytes_sent),
+            delivered=self.delivered,
+            dropped=self.dropped,
+        )
+
+    def by_prefix(self, prefix: str) -> Dict[str, int]:
+        """Message counts for all mtypes starting with ``prefix``."""
+        return {k: v for k, v in self.sent.items() if k.startswith(prefix)}
+
+
+@dataclass
+class StatsSnapshot:
+    sent: Counter
+    bytes_sent: Counter
+    delivered: int
+    dropped: int
+
+    def diff(self, later: "StatsSnapshot") -> "StatsSnapshot":
+        """Counters accumulated between ``self`` (earlier) and ``later``."""
+        return StatsSnapshot(
+            sent=Counter({k: v - self.sent.get(k, 0)
+                          for k, v in later.sent.items()
+                          if v - self.sent.get(k, 0)}),
+            bytes_sent=Counter({k: v - self.bytes_sent.get(k, 0)
+                                for k, v in later.bytes_sent.items()
+                                if v - self.bytes_sent.get(k, 0)}),
+            delivered=later.delivered - self.delivered,
+            dropped=later.dropped - self.dropped,
+        )
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent.values())
+
+
+class StatsWindow:
+    """Context-manager style window over a :class:`NetStats`.
+
+    >>> win = StatsWindow(net.stats)
+    >>> ... run protocol ...
+    >>> win.close().total_messages
+    """
+
+    def __init__(self, stats: NetStats):
+        self.stats = stats
+        self.start = stats.snapshot()
+        self._result: Optional[StatsSnapshot] = None
+
+    def close(self) -> StatsSnapshot:
+        if self._result is None:
+            self._result = self.start.diff(self.stats.snapshot())
+        return self._result

@@ -1,0 +1,17 @@
+"""Transparent remote processes (paper section 3).
+
+Process creation (fork), program installation (exec) and the combined,
+copy-avoiding ``run`` call work identically at every site; inter-process
+functions — signals, pipes, shared open file descriptors — keep single
+machine Unix semantics across the network, the shared file position being
+maintained with a token scheme (section 3.2 footnote).  Failures of a
+cooperating process's site are folded into the Unix interface as error
+signals plus interrogatable error information (section 3.3).
+"""
+
+from repro.proc.process import Image, Process, ProcState, Signal
+from repro.proc.manager import ProcManager
+from repro.proc.api import ProcApi
+
+__all__ = ["Image", "Process", "ProcState", "Signal", "ProcManager",
+           "ProcApi"]

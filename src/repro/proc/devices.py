@@ -1,0 +1,118 @@
+"""Transparent remote device access (paper section 2.4.2).
+
+"LOCUS provides for transparent use of remote devices in most cases.  This
+functionality is exceedingly valuable, but involves considerable care."
+A device node lives in the global naming tree like any file; its inode
+names the *hosting* site (where the hardware hangs).  Opens, reads and
+writes from any site are routed to the host's driver; the one documented
+exception — raw, non-character devices — is refused remotely, exactly as
+in the paper ("these can be accessed by executing processes remotely").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.errors import EACCES, EBADF, ENOENT
+
+DeviceKey = Tuple[int, str]   # (hosting site, device name)
+
+
+@dataclass
+class Device:
+    """A character (or raw) device and its driver callbacks.
+
+    ``read_fn(nbytes) -> bytes`` and ``write_fn(data) -> int`` run at the
+    hosting site.  A raw device (``character=False``) refuses remote access.
+    """
+
+    name: str
+    site_id: int
+    character: bool = True
+    read_fn: Optional[Callable[[int], bytes]] = None
+    write_fn: Optional[Callable[[bytes], int]] = None
+    reads: int = 0
+    writes: int = 0
+
+
+class DeviceService:
+    """Per-site device table plus the remote-access handlers."""
+
+    def __init__(self, site):
+        self.site = site
+        self.devices: Dict[str, Device] = {}
+        site.register_handler("dev.read", self.h_read)
+        site.register_handler("dev.write", self.h_write)
+        site.register_handler("dev.open", self.h_open)
+
+    def reset_volatile(self) -> None:
+        # Drivers are configuration, not volatile state: they survive a
+        # reboot (the hardware is still wired to the machine).
+        pass
+
+    def on_restart(self) -> None:
+        pass
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, name: str, read_fn=None, write_fn=None,
+                 character: bool = True) -> Device:
+        device = Device(name=name, site_id=self.site.site_id,
+                        character=character,
+                        read_fn=read_fn, write_fn=write_fn)
+        self.devices[name] = device
+        return device
+
+    def _device(self, name: str) -> Device:
+        device = self.devices.get(name)
+        if device is None:
+            raise ENOENT(f"no device {name!r} at site {self.site.site_id}")
+        return device
+
+    # -- client-side operations ---------------------------------------------
+
+    def open_device(self, host: int, name: str) -> Generator:
+        yield from self.site.rpc(host, "dev.open", {
+            "name": name, "remote": host != self.site.site_id,
+        })
+        return None
+
+    def read(self, host: int, name: str, nbytes: int) -> Generator:
+        data = yield from self.site.rpc(host, "dev.read",
+                                        {"name": name, "n": nbytes})
+        return data
+
+    def write(self, host: int, name: str, data: bytes) -> Generator:
+        n = yield from self.site.rpc(host, "dev.write",
+                                     {"name": name, "data": data})
+        return n
+
+    # -- host-side handlers ---------------------------------------------------
+
+    def h_open(self, src: int, p: dict) -> Generator:
+        device = self._device(p["name"])
+        if not device.character and p.get("remote"):
+            # "The only exception is remote access to raw, non-character
+            # devices" — run a process here instead.
+            raise EACCES(f"raw device {device.name!r} cannot be accessed "
+                         f"remotely; execute a process at site "
+                         f"{device.site_id}")
+        yield from self.site.cpu(self.site.cost.buffer_hit)
+        return None
+
+    def h_read(self, src: int, p: dict) -> Generator:
+        device = self._device(p["name"])
+        if device.read_fn is None:
+            raise EBADF(f"device {device.name!r} is not readable")
+        device.reads += 1
+        yield from self.site.cpu(self.site.cost.cpu_syscall)
+        return device.read_fn(p["n"])
+
+    def h_write(self, src: int, p: dict) -> Generator:
+        device = self._device(p["name"])
+        if device.write_fn is None:
+            raise EBADF(f"device {device.name!r} is not writable")
+        device.writes += 1
+        yield from self.site.cpu(self.site.cost.cpu_syscall)
+        return device.write_fn(p["data"])

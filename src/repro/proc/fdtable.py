@@ -1,0 +1,260 @@
+"""Shared open file descriptors with the token scheme.
+
+Paper section 3.1 footnote: "To implement this functionality across the
+network we keep a file descriptor at each site, with only one valid at any
+time, using a token scheme to determine which file descriptor is currently
+valid."  The site that created the descriptor acts as token manager; the
+current holder's replica carries the authoritative file position.
+
+For descriptors open for modification, yanking the token also closes the
+holder's storage-site open, so the CSS's single-writer policy is never
+violated by the same logical descriptor appearing at two sites.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.errors import EBADF, NetworkError
+from repro.fs.types import Mode
+
+OfdId = Tuple[int, int]    # (manager site, sequence number)
+
+
+@dataclass
+class OfdReplica:
+    """This site's incarnation of one open file description."""
+
+    ofd_id: OfdId
+    kind: str                      # "file" | "pipe"
+    target: tuple                  # gfile for files, pipe id for pipes
+    mode: Mode
+    offset: int = 0
+    has_token: bool = False
+    handle: Optional[object] = None     # UsHandle when open here
+    local_refs: int = 0
+
+    def export(self) -> dict:
+        """Wire form used when a descriptor is inherited across sites."""
+        return {"ofd_id": self.ofd_id, "kind": self.kind,
+                "target": self.target, "mode": self.mode}
+
+
+class FdTable:
+    """Per-site descriptor replicas plus the token-manager role."""
+
+    def __init__(self, site):
+        self.site = site
+        self.replicas: Dict[OfdId, OfdReplica] = {}
+        # Token-manager state (for descriptors this site created):
+        self.token_holder: Dict[OfdId, Optional[int]] = {}
+        self.global_refs: Dict[OfdId, int] = {}
+        # Offsets surrendered by dying replicas, held until the next grant.
+        self.parked_offsets: Dict[OfdId, int] = {}
+        self._seq = itertools.count(1)
+        site.register_handler("proc.token_get", self.h_token_get)
+        site.register_handler("proc.token_yank", self.h_token_yank)
+        site.register_handler("proc.token_surrender", self.h_token_surrender)
+        site.register_handler("proc.ofd_ref", self.h_ofd_ref)
+        site.register_handler("proc.ofd_unref", self.h_ofd_unref)
+
+    @property
+    def sid(self) -> int:
+        return self.site.site_id
+
+    def reset_volatile(self) -> None:
+        self.replicas.clear()
+        self.token_holder.clear()
+        self.global_refs.clear()
+        self.parked_offsets.clear()
+
+    # ------------------------------------------------------------------
+    # Creation / inheritance
+    # ------------------------------------------------------------------
+
+    def create(self, kind: str, target: tuple, mode: Mode,
+               handle=None) -> OfdId:
+        """Create a descriptor managed by this site; token starts here."""
+        ofd_id: OfdId = (self.sid, next(self._seq))
+        self.replicas[ofd_id] = OfdReplica(
+            ofd_id=ofd_id, kind=kind, target=target, mode=mode,
+            has_token=True, handle=handle, local_refs=1)
+        self.token_holder[ofd_id] = self.sid
+        self.global_refs[ofd_id] = 1
+        return ofd_id
+
+    def attach(self, spec: dict) -> Generator:
+        """Install an inherited descriptor at this site (fork/exec arrival).
+
+        Bumps the manager's global refcount.
+        """
+        ofd_id: OfdId = spec["ofd_id"]
+        rep = self.replicas.get(ofd_id)
+        if rep is None:
+            rep = OfdReplica(ofd_id=ofd_id, kind=spec["kind"],
+                             target=spec["target"], mode=spec["mode"])
+            self.replicas[ofd_id] = rep
+        rep.local_refs += 1
+        mgr = ofd_id[0]
+        if mgr == self.sid:
+            self.global_refs[ofd_id] = self.global_refs.get(ofd_id, 0) + 1
+        else:
+            yield from self.site.oneway_quiet(mgr, "proc.ofd_ref",
+                                              {"ofd": ofd_id})
+        return rep
+
+    def dup(self, ofd_id: OfdId) -> None:
+        self.replica(ofd_id).local_refs += 1
+        mgr = ofd_id[0]
+        if mgr == self.sid:
+            self.global_refs[ofd_id] = self.global_refs.get(ofd_id, 0) + 1
+
+    def replica(self, ofd_id: OfdId) -> OfdReplica:
+        rep = self.replicas.get(ofd_id)
+        if rep is None:
+            raise EBADF(f"no descriptor {ofd_id} at site {self.sid}")
+        return rep
+
+    # ------------------------------------------------------------------
+    # Token protocol
+    # ------------------------------------------------------------------
+
+    def acquire_token(self, ofd_id: OfdId) -> Generator:
+        """Make this site's replica the valid one; returns the file offset."""
+        rep = self.replica(ofd_id)
+        if rep.has_token:
+            return rep.offset
+        mgr = ofd_id[0]
+        resp = yield from self.site.rpc(mgr, "proc.token_get", {
+            "ofd": ofd_id, "requester": self.sid,
+        })
+        rep.has_token = True
+        if resp["offset"] is not None:
+            rep.offset = resp["offset"]
+        return rep.offset
+
+    def h_token_get(self, src: int, p: dict) -> Generator:
+        """Token-manager side: yank from the current holder, grant to the
+        requester."""
+        ofd_id: OfdId = p["ofd"]
+        requester: int = p["requester"]
+        holder = self.token_holder.get(ofd_id)
+        offset: Optional[int] = self.parked_offsets.pop(ofd_id, None)
+        if holder is not None and holder != requester:
+            if holder == self.sid:
+                offset = yield from self._yank_local(ofd_id)
+            else:
+                try:
+                    offset = yield from self.site.rpc(
+                        holder, "proc.token_yank", {"ofd": ofd_id})
+                except NetworkError:
+                    offset = None   # holder unreachable: offset is lost
+        self.token_holder[ofd_id] = requester
+        return {"offset": offset}
+
+    def h_token_yank(self, src: int, p: dict) -> Generator:
+        offset = yield from self._yank_local(p["ofd"])
+        return offset
+
+    def h_token_surrender(self, src: int, p: dict) -> Generator:
+        """A dying replica returned the token with its final offset."""
+        ofd_id: OfdId = p["ofd"]
+        if self.token_holder.get(ofd_id) == src:
+            self.token_holder[ofd_id] = None
+            self.parked_offsets[ofd_id] = p["offset"]
+        return None
+        yield  # pragma: no cover
+
+    def _yank_local(self, ofd_id: OfdId) -> Generator:
+        rep = self.replicas.get(ofd_id)
+        if rep is None:
+            return None
+        rep.has_token = False
+        # A write descriptor's open moves with the token so the CSS sees a
+        # single writer.
+        if rep.mode.writable and rep.handle is not None \
+                and not rep.handle.closed:
+            yield from self.site.fs.close(rep.handle)
+            rep.handle = None
+        return rep.offset
+
+    # ------------------------------------------------------------------
+    # Local file handle (lazily opened per site)
+    # ------------------------------------------------------------------
+
+    def file_handle(self, ofd_id: OfdId) -> Generator:
+        rep = self.replica(ofd_id)
+        if rep.kind != "file":
+            raise EBADF(f"descriptor {ofd_id} is not a file")
+        if rep.handle is None or rep.handle.closed:
+            rep.handle = yield from self.site.fs.open_gfile(
+                rep.target, rep.mode)
+        return rep.handle
+
+    # ------------------------------------------------------------------
+    # Reference counting / close
+    # ------------------------------------------------------------------
+
+    def deref(self, ofd_id: OfdId) -> Generator:
+        """Drop one local reference; returns True when this *site's* last
+        reference went away (pipe callers then retire their server role)."""
+        rep = self.replica(ofd_id)
+        rep.local_refs -= 1
+        if rep.local_refs > 0:
+            return False
+        if rep.handle is not None and not rep.handle.closed:
+            yield from self.site.fs.close(rep.handle)
+            rep.handle = None
+        self.replicas.pop(ofd_id, None)
+        mgr = ofd_id[0]
+        if rep.has_token:
+            # Surrender the token so survivors inherit the file position.
+            if mgr == self.sid:
+                self.token_holder[ofd_id] = None
+                self.parked_offsets[ofd_id] = rep.offset
+            else:
+                yield from self.site.oneway_quiet(
+                    mgr, "proc.token_surrender",
+                    {"ofd": ofd_id, "offset": rep.offset})
+        if mgr == self.sid:
+            remaining = self.global_refs.get(ofd_id, 1) - 1
+            if remaining <= 0:
+                self.global_refs.pop(ofd_id, None)
+                self.token_holder.pop(ofd_id, None)
+                self.parked_offsets.pop(ofd_id, None)
+            else:
+                self.global_refs[ofd_id] = remaining
+        else:
+            yield from self.site.oneway_quiet(mgr, "proc.ofd_unref",
+                                              {"ofd": ofd_id})
+        return True
+
+    def h_ofd_ref(self, src: int, p: dict) -> Generator:
+        ofd_id: OfdId = p["ofd"]
+        self.global_refs[ofd_id] = self.global_refs.get(ofd_id, 0) + 1
+        return None
+        yield  # pragma: no cover
+
+    def h_ofd_unref(self, src: int, p: dict) -> Generator:
+        ofd_id: OfdId = p["ofd"]
+        remaining = self.global_refs.get(ofd_id, 1) - 1
+        if remaining <= 0:
+            self.global_refs.pop(ofd_id, None)
+            self.token_holder.pop(ofd_id, None)
+            self.parked_offsets.pop(ofd_id, None)
+        else:
+            self.global_refs[ofd_id] = remaining
+        return None
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Partition handling
+    # ------------------------------------------------------------------
+
+    def on_partition_change(self, lost: set) -> None:
+        """Reclaim tokens held at lost sites (their offsets are gone)."""
+        for ofd_id, holder in list(self.token_holder.items()):
+            if holder in lost:
+                self.token_holder[ofd_id] = None

@@ -1,0 +1,186 @@
+"""Network-wide pipes (paper section 2.4.2).
+
+"In the current LOCUS system release, Unix named pipes and signals are
+supported across the network.  Their semantics in LOCUS are identical to
+those seen on a single machine Unix system, even when processes are resident
+on different machines."
+
+Each pipe's buffer lives at one *server* site: the creating site for
+anonymous pipes, the first storage site of the FIFO's inode for named pipes.
+Readers and writers anywhere reach it by RPC; blocked operations sleep at
+the server exactly like a local Unix pipe sleeps in the kernel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Generator, Tuple
+
+from repro.errors import EBADF, EPIPE
+
+PIPE_CAPACITY = 16 * 1024
+
+PipeId = Tuple  # ("anon", site, seq) or ("fifo", gfs, ino)
+
+
+@dataclass
+class _PipeBuf:
+    pipe_id: PipeId
+    capacity: int = PIPE_CAPACITY
+    data: bytearray = field(default_factory=bytearray)
+    readers: int = 0
+    writers: int = 0
+    read_waiters: Deque = field(default_factory=deque)   # (future, nbytes)
+    write_waiters: Deque = field(default_factory=deque)  # (future, bytes)
+    open_waiters: Deque = field(default_factory=deque)   # futures (FIFO open)
+
+    @property
+    def room(self) -> int:
+        return self.capacity - len(self.data)
+
+
+class PipeService:
+    """Server-side pipe buffers plus the client-side operations."""
+
+    def __init__(self, site):
+        self.site = site
+        self.bufs: Dict[PipeId, _PipeBuf] = {}
+        self._seq = itertools.count(1)
+        site.register_handler("pipe.open", self.h_open)
+        site.register_handler("pipe.read", self.h_read)
+        site.register_handler("pipe.write", self.h_write)
+        site.register_handler("pipe.close", self.h_close)
+
+    def reset_volatile(self) -> None:
+        """A crash destroys pipe buffers (and wakes nobody: remote peers
+        learn through their closed circuits)."""
+        self.bufs.clear()
+
+    def new_anon_id(self) -> PipeId:
+        return ("anon", self.site.site_id, next(self._seq))
+
+    # ------------------------------------------------------------------
+    # Client-side operations (run at the using site)
+    # ------------------------------------------------------------------
+
+    def open_role(self, server: int, pipe_id: PipeId, role: str) -> Generator:
+        yield from self.site.rpc(server, "pipe.open",
+                                 {"pipe": pipe_id, "role": role})
+        return None
+
+    def read(self, server: int, pipe_id: PipeId, nbytes: int) -> Generator:
+        data = yield from self.site.rpc(server, "pipe.read",
+                                        {"pipe": pipe_id, "n": nbytes})
+        return data
+
+    def write(self, server: int, pipe_id: PipeId, data: bytes) -> Generator:
+        n = yield from self.site.rpc(server, "pipe.write",
+                                     {"pipe": pipe_id, "data": data})
+        return n
+
+    def close_role(self, server: int, pipe_id: PipeId, role: str) -> Generator:
+        yield from self.site.oneway_quiet(server, "pipe.close",
+                                          {"pipe": pipe_id, "role": role})
+        return None
+
+    # ------------------------------------------------------------------
+    # Server-side handlers
+    # ------------------------------------------------------------------
+
+    def _buf(self, pipe_id: PipeId, create: bool = False) -> _PipeBuf:
+        buf = self.bufs.get(pipe_id)
+        if buf is None:
+            if not create:
+                raise EBADF(f"no pipe {pipe_id} at site {self.site.site_id}")
+            buf = _PipeBuf(pipe_id=pipe_id)
+            self.bufs[pipe_id] = buf
+        return buf
+
+    def h_open(self, src: int, p: dict) -> Generator:
+        buf = self._buf(p["pipe"], create=True)
+        if p["role"] == "r":
+            buf.readers += 1
+        else:
+            buf.writers += 1
+        while buf.open_waiters:
+            buf.open_waiters.popleft().resolve(None)
+        # Named pipes keep Unix FIFO semantics: opening one end blocks
+        # until the other end is open (anonymous pipes are created with
+        # both ends held by the creator, so they never wait here).
+        if p["pipe"][0] == "fifo":
+            while (buf.readers == 0) or (buf.writers == 0):
+                fut = self.site.sim.create_future(
+                    f"fifo-open:{buf.pipe_id}")
+                buf.open_waiters.append(fut)
+                yield fut
+        return None
+
+    def h_read(self, src: int, p: dict) -> Generator:
+        buf = self._buf(p["pipe"])
+        nbytes = p["n"]
+        while True:
+            if buf.data:
+                out = bytes(buf.data[:nbytes])
+                del buf.data[:nbytes]
+                self._pump(buf)
+                return out
+            if buf.writers == 0:
+                return b""      # EOF
+            fut = self.site.sim.create_future(f"pipe-read:{buf.pipe_id}")
+            buf.read_waiters.append((fut, nbytes))
+            yield fut           # woken by _pump / h_close
+
+    def h_write(self, src: int, p: dict) -> Generator:
+        buf = self._buf(p["pipe"])
+        data = p["data"]
+        if buf.readers == 0:
+            raise EPIPE(f"pipe {buf.pipe_id} has no readers")
+        written = 0
+        while written < len(data):
+            if buf.readers == 0:
+                raise EPIPE(f"pipe {buf.pipe_id} readers went away")
+            room = buf.room
+            if room > 0:
+                chunk = data[written:written + room]
+                buf.data.extend(chunk)
+                written += len(chunk)
+                self._pump(buf)
+                continue
+            fut = self.site.sim.create_future(f"pipe-write:{buf.pipe_id}")
+            buf.write_waiters.append((fut, None))
+            yield fut
+        return written
+
+    def h_close(self, src: int, p: dict) -> Generator:
+        buf = self.bufs.get(p["pipe"])
+        if buf is None:
+            return None
+        if p["role"] == "r":
+            buf.readers = max(0, buf.readers - 1)
+            if buf.readers == 0:
+                # Writers blocked on a full pipe get EPIPE.
+                while buf.write_waiters:
+                    fut, __ = buf.write_waiters.popleft()
+                    fut.fail(EPIPE(f"pipe {buf.pipe_id} readers closed"))
+        else:
+            buf.writers = max(0, buf.writers - 1)
+            if buf.writers == 0:
+                # Readers blocked on an empty pipe see EOF.
+                while buf.read_waiters:
+                    fut, __ = buf.read_waiters.popleft()
+                    fut.resolve(None)
+        if buf.readers == 0 and buf.writers == 0 and not buf.data:
+            self.bufs.pop(p["pipe"], None)
+        return None
+        yield  # pragma: no cover
+
+    def _pump(self, buf: _PipeBuf) -> None:
+        """Wake sleepers whose condition now holds."""
+        while buf.read_waiters and buf.data:
+            fut, __ = buf.read_waiters.popleft()
+            fut.resolve(None)
+        while buf.write_waiters and buf.room > 0:
+            fut, __ = buf.write_waiters.popleft()
+            fut.resolve(None)

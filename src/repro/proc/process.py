@@ -1,0 +1,130 @@
+"""Process structures: images, signals, per-process state."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fs.types import Gfile
+
+PID_SITE_FACTOR = 1_000_000
+
+
+def pid_origin(pid: int) -> int:
+    """The site that allocated this pid (signal routing starts there)."""
+    return pid // PID_SITE_FACTOR
+
+
+class ProcState(enum.Enum):
+    RUNNING = "running"
+    ZOMBIE = "zombie"        # exited, not yet waited for
+    GONE = "gone"
+
+
+class Signal(enum.IntEnum):
+    SIGHUP = 1
+    SIGINT = 2
+    SIGKILL = 9
+    SIGPIPE = 13
+    SIGTERM = 15
+    SIGCHLD = 17
+    # LOCUS additions (section 3.3): "the new error types primarily concern
+    # cases where either the calling or called machine fails while the
+    # parent and child are still alive".
+    SIGCHLD_ERR = 90         # a child's machine failed
+    SIGPAR_ERR = 91          # the parent's machine failed
+
+
+@dataclass
+class Image:
+    """A process address space: a load module plus data pages.
+
+    ``program`` names an entry in the cluster's program table (the
+    simulation's stand-in for machine code); ``cpu`` records which machine
+    type the load module was built for (section 2.4.1).
+    """
+
+    program: str = "init"
+    cpu: str = "vax"
+    code_pages: int = 16
+    data_pages: int = 8
+    reentrant: bool = True
+
+    def clone(self) -> "Image":
+        return Image(program=self.program, cpu=self.cpu,
+                     code_pages=self.code_pages,
+                     data_pages=self.data_pages,
+                     reentrant=self.reentrant)
+
+
+@dataclass
+class ChildRecord:
+    pid: int
+    site: int
+    status: str = "running"           # running | exited | error
+    exit_code: Optional[int] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class Process:
+    """One process.  The structured advice list (section 3.1) controls where
+    forks and execs place the process."""
+
+    pid: int
+    ppid: int
+    site_id: int
+    user: str = "root"
+    state: ProcState = ProcState.RUNNING
+    cwd: Gfile = (0, 1)
+    image: Image = field(default_factory=Image)
+    # Execution-site advice: tried in order by fork/exec/run.
+    advice: List[int] = field(default_factory=list)
+    # Default replication factor for files created by this process
+    # (section 2.3.7's inherited variable, settable by a new system call).
+    default_copies: int = 1
+    # Hidden-directory context (section 2.4.1), e.g. ["vax"].
+    hidden_context: List[str] = field(default_factory=lambda: ["vax"])
+    hidden_visible: bool = False
+    fds: Dict[int, tuple] = field(default_factory=dict)   # fd -> ofd_id
+    next_fd: int = 0
+    exit_code: Optional[int] = None
+    # Error information deposited when a cooperating site fails; read via
+    # the new proc_errinfo system call (section 3.3).
+    err_info: List[dict] = field(default_factory=list)
+    pending_signals: List[Signal] = field(default_factory=list)
+    children: Dict[int, ChildRecord] = field(default_factory=dict)
+    parent_site: Optional[int] = None
+
+    # Per-process descriptor table limit (conventional Unix NOFILE).
+    MAX_FDS = 64
+
+    def alloc_fd(self, ofd_id: tuple) -> int:
+        if len(self.fds) >= self.MAX_FDS:
+            from repro.errors import EMFILE
+            raise EMFILE(f"process {self.pid} has {len(self.fds)} "
+                         f"descriptors open")
+        fd = self.next_fd
+        self.next_fd += 1
+        self.fds[fd] = ofd_id
+        return fd
+
+    def inherit_env(self) -> dict:
+        """Environment copied into a child (fork) or moved (exec)."""
+        return {
+            "user": self.user,
+            "cwd": self.cwd,
+            "default_copies": self.default_copies,
+            "hidden_context": list(self.hidden_context),
+            "hidden_visible": self.hidden_visible,
+            "advice": list(self.advice),
+        }
+
+    def apply_env(self, env: dict) -> None:
+        self.user = env["user"]
+        self.cwd = env["cwd"]
+        self.default_copies = env["default_copies"]
+        self.hidden_context = list(env["hidden_context"])
+        self.hidden_visible = env["hidden_visible"]
+        self.advice = list(env["advice"])

@@ -1,0 +1,88 @@
+"""Execution-site selection policies (paper sections 3.1 and 6).
+
+"The decision about where the new process is to execute is specified by
+information associated with the calling process.  That information,
+currently a structured advice list, can be set dynamically.  Shell commands
+to control execution site are also available."  And from the experience
+section: "We found that the primary motivation for remote execution was
+load balancing."
+
+A :class:`Scheduler` turns a policy into an advice list for a process; the
+process machinery itself only ever sees advice, exactly as in LOCUS.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import EINVAL
+
+Policy = Callable[["Scheduler"], List[int]]
+
+
+class Scheduler:
+    """Chooses execution sites over the live cluster state."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._rr = itertools.count()
+        self._policies: Dict[str, Policy] = {
+            "local": Scheduler._policy_local,
+            "round_robin": Scheduler._policy_round_robin,
+            "least_loaded": Scheduler._policy_least_loaded,
+            "cpu_idle": Scheduler._policy_cpu_idle,
+        }
+
+    # -- policy registry ---------------------------------------------------
+
+    def register_policy(self, name: str, fn: Policy) -> None:
+        """Install a custom policy: ``fn(scheduler) -> ordered site list``."""
+        self._policies[name] = fn
+
+    def advice(self, policy: str = "least_loaded",
+               cpu: Optional[str] = None) -> List[int]:
+        """An ordered advice list under ``policy``; optionally restricted
+        to sites of one machine type (heterogeneous networks run a load
+        module only where its cpu matches, section 2.4.1)."""
+        fn = self._policies.get(policy)
+        if fn is None:
+            raise EINVAL(f"unknown scheduling policy {policy!r}")
+        sites = fn(self)
+        if cpu is not None:
+            sites = [s for s in sites
+                     if self.cluster.site(s).cpu_type == cpu]
+        return sites
+
+    def place(self, shell, policy: str = "least_loaded",
+              cpu: Optional[str] = None) -> List[int]:
+        """Set a shell's process advice list from a policy; returns it."""
+        sites = self.advice(policy, cpu=cpu)
+        shell.set_advice(sites)
+        return sites
+
+    # -- built-in policies ---------------------------------------------------
+
+    def _up_sites(self) -> List[int]:
+        return [s.site_id for s in self.cluster.sites if s.up]
+
+    def _policy_local(self) -> List[int]:
+        return []          # empty advice: fork/run default to local
+
+    def _policy_round_robin(self) -> List[int]:
+        up = self._up_sites()
+        if not up:
+            return []
+        start = next(self._rr) % len(up)
+        return up[start:] + up[:start]
+
+    def _policy_least_loaded(self) -> List[int]:
+        """Fewest live processes first — the balancing LOCUS users ran."""
+        return sorted(self._up_sites(),
+                      key=lambda s: (len(self.cluster.site(s).proc.procs),
+                                     s))
+
+    def _policy_cpu_idle(self) -> List[int]:
+        """Least accumulated CPU first (a longer-horizon balance)."""
+        return sorted(self._up_sites(),
+                      key=lambda s: (self.cluster.site(s).cpu_used, s))

@@ -1,0 +1,14 @@
+"""Dynamic reconfiguration (paper section 5).
+
+Transparency applies to configuration changes themselves: the partition
+protocol finds maximal fully-connected sub-networks by iterative
+intersection of partition sets; the merge protocol polls the whole network
+asynchronously and rebuilds the site and mount tables; the cleanup procedure
+applies the section 5.6 failure-action table; and protocol stages are
+ordered so passive sites can watch active ones without circular waits.
+"""
+
+from repro.reconfig.topology import TopologyService
+from repro.reconfig.cleanup import run_cleanup
+
+__all__ = ["TopologyService", "run_cleanup"]

@@ -1,0 +1,99 @@
+"""The cleanup procedure (paper section 5.6).
+
+"Even before the partition has been reestablished, there is considerable
+work that each node can do to clean up its internal data structures":
+
+=====================================  =====================================
+Resource                               Failure action
+=====================================  =====================================
+Local file in use remotely (update)    discard pages, close and abort
+Local file in use remotely (read)      close
+Remote file in use locally (update)    discard pages, error in descriptor
+Remote file in use locally (read)      internal close, attempt reopen
+Remote fork/exec, remote site fails    return error to caller
+Fork/exec, calling site fails          notify process
+Distributed transaction                abort related subtransactions
+=====================================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Set
+
+from repro.errors import FsError, NetworkError
+
+
+def run_cleanup(site, lost: Set[int], members: Set[int]) -> Generator:
+    """Apply the failure-action table at one site after a topology change."""
+    yield from _cleanup_fs(site, lost, members)
+    if site.proc is not None:
+        site.proc.on_partition_change(lost)
+    if site.tx is not None:
+        yield from site.tx.on_partition_change(lost)
+    return None
+
+
+def _cleanup_fs(site, lost: Set[int], members: Set[int]) -> Generator:
+    fs = site.fs
+    # --- SS role: local resources in use remotely -----------------------
+    for gfile, so in list(fs.ss.items()):
+        lost_users = [us for us in set(list(so.users) + list(so.unsync_users))
+                      if us in lost]
+        for us in lost_users:
+            if so.writer == us:
+                # "Discard pages, close file and abort updates."
+                so.shadow.abort()
+                site.cache.invalidate_file(*gfile)
+            so.drop_site(us)
+        fs._maybe_drop_ss(gfile, so)
+    # --- CSS role: forget state for departed sites -----------------------
+    for entry in list(fs.css_entries.values()):
+        for us in list(entry.readers) + ([entry.writer] if entry.writer
+                                         else []):
+            if us in lost:
+                entry.drop_site(us)
+        if not entry.in_use:
+            fs.css_entries.pop(entry.gfile, None)
+    # --- US role: remote resources in use locally --------------------------
+    for handle in list(fs.us.values()):
+        if handle.closed or handle.ss_site not in lost:
+            continue
+        site.cache.invalidate_file(*handle.gfile)
+        if handle.mode.writable:
+            # "Discard pages, set error in local file descriptor."
+            handle.attrs["error"] = f"storage site {handle.ss_site} lost"
+            handle.dirty = False
+            handle.closed = True
+            fs.us.pop(handle.hid, None)
+        else:
+            # "Internal close, attempt to reopen at other site" — the system
+            # substitutes a different copy of the same version if possible.
+            yield from _reopen_elsewhere(site, handle)
+    return None
+
+
+def _reopen_elsewhere(site, handle) -> Generator:
+    fs = site.fs
+    old_version = handle.attrs["version"]
+    try:
+        replacement = yield from fs.open_gfile(handle.gfile, handle.mode)
+    except (FsError, NetworkError):
+        handle.attrs["error"] = "no surviving copy reachable"
+        handle.closed = True
+        fs.us.pop(handle.hid, None)
+        return None
+    if not replacement.attrs["version"].dominates(old_version):
+        # A copy exists but it is older than what the process was reading;
+        # substituting it silently would run time backwards.
+        yield from fs.close(replacement)
+        handle.attrs["error"] = "remaining copies are stale"
+        handle.closed = True
+        fs.us.pop(handle.hid, None)
+        return None
+    # Adopt the replacement's storage site under the old handle id so the
+    # process never notices (section 5.2 principle 3).
+    handle.ss_site = replacement.ss_site
+    handle.attrs = replacement.attrs
+    handle.last_page = -2
+    fs.us.pop(replacement.hid, None)
+    return None

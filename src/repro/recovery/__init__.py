@@ -1,0 +1,26 @@
+"""Recovery: reconciliation of replicated storage after partition (section 4).
+
+"The basic approach in LOCUS is to maintain, within a single partition,
+strict synchronization among copies ...  Each partition operates
+independently, however.  Upon merge, conflicts are reliably detected.  For
+those data types which the system understands, automatic reconciliation is
+done.  Otherwise, the problem is reported to a higher level ...  Eventually,
+if necessary, the user is notified and tools are provided by which he can
+interactively merge the copies."
+
+The hierarchy implemented here:
+
+* version vectors detect all conflicts ([PARK83]),
+* directories and mailboxes are merged mechanically (sections 4.4, 4.5),
+* registered per-type merge managers get a chance next (section 4.3),
+* untyped files are marked in conflict, the owner is notified by mail, and
+  a rename-based tool makes each version a normal file again (section 4.6).
+"""
+
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.dir_merge import merge_directories
+from repro.recovery.mailbox import decode_mailbox, encode_mailbox, \
+    merge_mailboxes
+
+__all__ = ["RecoveryManager", "merge_directories", "decode_mailbox",
+           "encode_mailbox", "merge_mailboxes"]

@@ -1,0 +1,186 @@
+"""Reconciliation of a distributed hierarchical directory (section 4.4).
+
+For directories there are two operations — insert and remove — yet the
+merge rules are not simple, because (a) operations may be done to a file in
+a partition which does not store the file, (b) a file deleted in one
+partition while modified in another wants to be saved, and (c) a directory
+may have to be resolved without either partition storing particular files.
+
+Rules implemented (quoting the paper):
+
+1. "Check for name conflicts.  For each name in the union of the
+   directories, check that the inode numbers are the same.  If they aren't,
+   both file names are slightly altered to be distinguished.  The owners of
+   the two files are notified by electronic mail."
+2. Per-inode resolution:
+   a. entry in one and not the other: propagate the entry;
+   b. deleted entry in one, absent in the other: propagate the delete,
+      unless the data was modified since the delete;
+   c. live entries in both: no action;
+   d. delete in one, live in the other: interrogate the inode — if the data
+      was modified since the delete, undo the delete; otherwise propagate
+      the delete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fs.directory import DirEntry
+from repro.storage.version_vector import VersionVector
+
+
+@dataclass
+class DirMergeReport:
+    """What the merge did, for mail notification and statistics."""
+
+    name_conflicts: List[Tuple[str, int, int]] = field(default_factory=list)
+    propagated_entries: int = 0
+    propagated_deletes: int = 0
+    undone_deletes: int = 0
+    unchanged: int = 0
+
+
+def _altered_name(name: str, ino: int) -> str:
+    """Slightly alter a conflicting name so both files stay reachable."""
+    return f"{name}@{ino}"
+
+
+def _modified_since_delete(entry: DirEntry,
+                           current_vv: Optional[VersionVector]) -> bool:
+    """Has the file's data been modified since the tombstone was written?
+
+    The tombstone recorded the file's version vector at delete time; a
+    strictly dominating current vector means later modification.
+    """
+    if current_vv is None or entry.dvv is None:
+        return False
+    return (current_vv.dominates(entry.dvv)
+            and current_vv != entry.dvv)
+
+
+def merge_directories(
+        copies: List[List[DirEntry]],
+        file_version: Callable[[int], Optional[VersionVector]],
+) -> Tuple[List[DirEntry], DirMergeReport]:
+    """Merge k >= 1 divergent copies of one directory.
+
+    ``file_version(ino)`` returns the file's *current* (post-merge) version
+    vector, or None if no partition stores it — the rule-(d) inode
+    interrogation.
+    """
+    report = DirMergeReport()
+    merged: Dict[str, DirEntry] = {}
+    # Once a name conflicts, every inode bound to it gets a stable alias so
+    # folding a third or fourth copy maps entries consistently.
+    aliases: Dict[str, Dict[int, str]] = {}
+    # Tombstones displaced from a name by a different live file: remembered
+    # so a later copy's live entry for the tombstoned inode still meets its
+    # delete (keeps the fold order-independent).
+    shadow_tombs: Dict[str, Dict[int, DirEntry]] = {}
+
+    def place(entry: DirEntry, orig_name: str) -> None:
+        tomb = shadow_tombs.get(orig_name, {}).get(entry.ino)
+        if tomb is not None and not entry.deleted:
+            entry = _resolve_pair(entry, _clone(tomb), file_version, report)
+        current = merged.get(entry.name)
+        if current is None:
+            merged[entry.name] = _clone(entry)
+            report.propagated_entries += 1
+        else:
+            merged[entry.name] = _resolve_pair(current, entry,
+                                               file_version, report)
+
+    def remember_tomb(orig_name: str, tomb: DirEntry) -> None:
+        known = shadow_tombs.setdefault(orig_name, {})
+        old = known.get(tomb.ino)
+        if old is None or (tomb.dvv is not None
+                           and (old.dvv is None
+                                or tomb.dvv.dominates(old.dvv))):
+            known[tomb.ino] = _clone(tomb)
+
+    for entries in copies:
+        for entry in entries:
+            name = entry.name
+            if name in aliases:
+                amap = aliases[name]
+                if entry.ino not in amap:
+                    amap[entry.ino] = _altered_name(name, entry.ino)
+                    report.name_conflicts.append(
+                        (name, entry.ino, next(iter(amap))))
+                aliased = _clone(entry)
+                aliased.name = amap[entry.ino]
+                place(aliased, name)
+                continue
+            current = merged.get(name)
+            if current is not None and current.ino != entry.ino \
+                    and name not in (".", ".."):
+                live_current = not current.deleted
+                live_entry = not entry.deleted
+                if live_current and live_entry:
+                    # Rule 1: same name, different files: rename both and
+                    # remember the aliases for later copies.
+                    report.name_conflicts.append(
+                        (name, current.ino, entry.ino))
+                    amap = {
+                        current.ino: _altered_name(name, current.ino),
+                        entry.ino: _altered_name(name, entry.ino),
+                    }
+                    aliases[name] = amap
+                    del merged[name]
+                    renamed_a = _clone(current)
+                    renamed_a.name = amap[current.ino]
+                    place(renamed_a, name)
+                    renamed_b = _clone(entry)
+                    renamed_b.name = amap[entry.ino]
+                    place(renamed_b, name)
+                    continue
+                # A tombstone of a different file under the same name: the
+                # live entry wins the name, and the tombstone is remembered
+                # in case its file reappears from another copy.  Two
+                # foreign tombstones keep the lower inode's record.
+                if live_entry:
+                    remember_tomb(name, current)
+                    del merged[name]
+                    place(entry, name)  # may meet its own shadow tombstone
+                elif current.deleted and entry.deleted:
+                    keep, remember = (entry, current) \
+                        if entry.ino < current.ino else (current, entry)
+                    remember_tomb(name, remember)
+                    merged[name] = _clone(keep)
+                else:
+                    remember_tomb(name, entry)
+                continue
+            place(entry, name)
+
+    result = sorted(merged.values(), key=lambda e: (e.name, e.ino))
+    return result, report
+
+
+def _resolve_pair(a: DirEntry, b: DirEntry,
+                  file_version: Callable[[int], Optional[VersionVector]],
+                  report: DirMergeReport) -> DirEntry:
+    if a.deleted == b.deleted:
+        if a.deleted:
+            # Two tombstones: keep the one recording the later version.
+            report.unchanged += 1
+            if b.dvv is not None and (a.dvv is None
+                                      or b.dvv.dominates(a.dvv)):
+                return _clone(b)
+            return _clone(a)
+        report.unchanged += 1          # rule (c): both live, no action
+        return _clone(a)
+    dead, live = (a, b) if a.deleted else (b, a)
+    current_vv = file_version(dead.ino)
+    if _modified_since_delete(dead, current_vv):
+        report.undone_deletes += 1     # rule (d): modified since: undo delete
+        return _clone(live)
+    report.propagated_deletes += 1     # rules (b)/(d): propagate the delete
+    return _clone(dead)
+
+
+def _clone(entry: DirEntry) -> DirEntry:
+    return DirEntry(name=entry.name, ino=entry.ino, ftype=entry.ftype,
+                    deleted=entry.deleted,
+                    dvv=entry.dvv.copy() if entry.dvv is not None else None)

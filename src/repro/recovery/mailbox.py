@@ -1,0 +1,68 @@
+"""Mailbox files and their reconciliation (section 4.5).
+
+"Automatic reconciliation of user mailboxes is important in the LOCUS
+replication system, since notification of name conflicts in files is done
+by sending the user electronic mail ...  Mailboxes are even easier to merge
+than directories: the operations are the same — insert and delete — but it
+is easy to arrange for no name conflicts, and there are no link problems."
+
+A mailbox is a MAILBOX-typed file whose content is a list of messages, each
+globally uniquely identified; deletion keeps a tombstone so merges never
+resurrect read-and-deleted mail.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class MailMessage:
+    msg_id: str
+    sender: str
+    subject: str
+    body: str
+    stamp: float = 0.0
+    deleted: bool = False
+
+    def to_record(self) -> dict:
+        return {"id": self.msg_id, "from": self.sender,
+                "subject": self.subject, "body": self.body,
+                "stamp": self.stamp, "deleted": self.deleted}
+
+    @classmethod
+    def from_record(cls, rec: dict) -> "MailMessage":
+        return cls(msg_id=rec["id"], sender=rec["from"],
+                   subject=rec["subject"], body=rec["body"],
+                   stamp=rec.get("stamp", 0.0),
+                   deleted=bool(rec.get("deleted")))
+
+
+def encode_mailbox(messages: List[MailMessage]) -> bytes:
+    records = [m.to_record()
+               for m in sorted(messages, key=lambda m: (m.stamp, m.msg_id))]
+    return json.dumps(records, separators=(",", ":")).encode()
+
+
+def decode_mailbox(data: bytes) -> List[MailMessage]:
+    if not data:
+        return []
+    text = data.rstrip(b"\x00").decode()
+    if not text:
+        return []
+    return [MailMessage.from_record(rec) for rec in json.loads(text)]
+
+
+def merge_mailboxes(copies: List[List[MailMessage]]) -> List[MailMessage]:
+    """Union by message id; a delete seen anywhere wins."""
+    merged: Dict[str, MailMessage] = {}
+    for messages in copies:
+        for msg in messages:
+            existing = merged.get(msg.msg_id)
+            if existing is None:
+                merged[msg.msg_id] = msg
+            elif msg.deleted and not existing.deleted:
+                merged[msg.msg_id] = msg
+    return sorted(merged.values(), key=lambda m: (m.stamp, m.msg_id))

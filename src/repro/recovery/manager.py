@@ -1,0 +1,484 @@
+"""The recovery orchestrator: filegroup sweeps, per-type merges, conflict
+marking, owner notification, and demand recovery (section 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.errors import EEXIST, FsError, NetworkError
+from repro.fs.directory import decode_entries, encode_entries
+from repro.fs.types import Gfile, Mode
+from repro.recovery.dir_merge import merge_directories
+from repro.recovery.mailbox import (MailMessage, decode_mailbox,
+                                    encode_mailbox, merge_mailboxes)
+from repro.storage.inode import FileType
+from repro.storage.version_vector import VersionVector, latest
+
+
+class RecoveryStats:
+    def __init__(self):
+        self.files_examined = 0
+        self.propagations_scheduled = 0
+        self.dir_merges = 0
+        self.mailbox_merges = 0
+        self.type_manager_merges = 0
+        self.conflicts_marked = 0
+        self.deletes_undone = 0
+        self.name_conflicts = 0
+        self.mails_sent = 0
+
+
+class RecoveryManager:
+    """Runs at the CSS of each filegroup after a merge (section 5.3: "the
+    recovery procedure runs as a privileged application program")."""
+
+    def __init__(self, site):
+        self.site = site
+        self.stats = RecoveryStats()
+        # gfs -> inos still awaiting reconciliation (demand recovery pulls
+        # individual files forward in the queue, section 4.4).
+        self.pending: Dict[int, Set[int]] = {}
+        self._sweep_inventories: Dict[int, Dict[int, dict]] = {}
+        # Registered higher-level recovery/merge managers by file type
+        # (section 4.3): ftype -> callable(copies) -> merged bytes or None.
+        self.merge_managers: Dict[FileType, Callable] = {}
+        self._mail_seq = itertools.count(1)
+
+    @property
+    def sid(self) -> int:
+        return self.site.site_id
+
+    def reset_volatile(self) -> None:
+        self.pending.clear()
+        self._sweep_inventories.clear()
+
+    def on_restart(self) -> None:
+        pass
+
+    def register_merge_manager(self, ftype: FileType, fn: Callable) -> None:
+        """Install a per-type recovery/merge manager (e.g. for DATABASE
+        files); ``fn(copies)`` gets ``[(site, attrs, content_bytes)]`` and
+        returns merged bytes, or None to fall back to conflict marking."""
+        self.merge_managers[ftype] = fn
+
+    # ------------------------------------------------------------------
+    # Sweep scheduling
+    # ------------------------------------------------------------------
+
+    def schedule_filegroup(self, gfs: int) -> None:
+        self.site.spawn(self.reconcile_filegroup(gfs),
+                        name=f"recovery:fg{gfs}@{self.sid}")
+
+    def needs(self, gfile: Gfile) -> bool:
+        return gfile[1] in self.pending.get(gfile[0], ())
+
+    def demand(self, gfile: Gfile) -> Generator:
+        """Demand recovery: reconcile one file out of order so regular
+        traffic sees only a small delay (section 4.4)."""
+        gfs, ino = gfile
+        if not self.needs(gfile):
+            return None
+        inventories = self._sweep_inventories.get(gfs, {})
+        self.pending.get(gfs, set()).discard(ino)
+        yield from self._reconcile_ino(gfs, ino, inventories)
+        return None
+
+    # ------------------------------------------------------------------
+    # The filegroup sweep
+    # ------------------------------------------------------------------
+
+    def reconcile_filegroup(self, gfs: int) -> Generator:
+        members = self.site.topology.partition_set if self.site.topology \
+            else set(self.site.net.site_ids)
+        pack_sites = [s for s in self.site.fs.mount.pack_sites(gfs)
+                      if s in members]
+        inventories: Dict[int, dict] = {}
+        for s in pack_sites:
+            try:
+                inv = yield from self.site.rpc(s, "fs.pack_inventory",
+                                               {"gfs": gfs})
+            except (NetworkError, FsError):
+                continue
+            inventories[s] = inv
+        if not inventories:
+            return None
+        all_inos = set()
+        for inv in inventories.values():
+            all_inos |= set(inv)
+        self._sweep_inventories[gfs] = inventories
+        self.pending[gfs] = set(all_inos)
+        for ino in sorted(all_inos):
+            if ino not in self.pending.get(gfs, ()):
+                continue  # demand recovery already handled it
+            self.pending[gfs].discard(ino)
+            try:
+                yield from self._reconcile_ino(gfs, ino, inventories)
+            except (NetworkError, FsError):
+                pass  # a site vanished mid-recovery; the next merge retries
+        self.pending.pop(gfs, None)
+        self._sweep_inventories.pop(gfs, None)
+        return None
+
+    # ------------------------------------------------------------------
+    # Per-file reconciliation
+    # ------------------------------------------------------------------
+
+    def _reconcile_ino(self, gfs: int, ino: int,
+                       inventories: Dict[int, dict],
+                       attempt: int = 0) -> Generator:
+        self.stats.files_examined += 1
+        gfile: Gfile = (gfs, ino)
+        entry = self.site.fs.css_entries.get(gfile)
+        if entry is not None and entry.writer is not None and attempt < 10:
+            # An operation in progress: "the desired action is to permit
+            # these operations to continue to completion, and only then
+            # perform file system conflict analysis" (section 5.6).
+            self.pending.setdefault(gfs, set()).add(ino)
+
+            def _retry():
+                self.site.spawn(self._retry_ino(gfs, ino, attempt + 1),
+                                name=f"recovery-retry:{gfs}:{ino}")
+
+            self.site.sim.schedule(30.0 * (attempt + 1), _retry)
+            return None
+        holders: List[Tuple[int, dict]] = []
+        for s, inv in inventories.items():
+            entry = inv.get(ino)
+            if entry is not None and entry["has_data"]:
+                holders.append((s, entry["attrs"]))
+        if not holders:
+            return None
+        __, best_vv, conflict = latest(
+            (s, attrs["version"]) for s, attrs in holders)
+        all_equal = all(a["version"] == best_vv for __, a in holders)
+        live = [(s, a) for s, a in holders if not a["deleted"]]
+        dead = [(s, a) for s, a in holders if a["deleted"]]
+        ftype = holders[0][1]["ftype"]
+        if conflict and dead and live:
+            # "A file which was deleted in one partition while it was
+            # modified in another, wants to be saved": undo the delete.
+            self.stats.deletes_undone += 1
+            yield from self._install_winner(gfile, live, holders,
+                                            content=None)
+            return None
+        if ftype in (FileType.DIRECTORY, FileType.HIDDEN_DIR) \
+                and not all_equal and live:
+            # Directories always go through the merge rules: even a
+            # strictly-newer copy's tombstones must be checked against
+            # "modified since the delete" (section 4.4 rule b/d).
+            yield from self._merge_directory(gfile, live, inventories)
+            return None
+        if not conflict:
+            yield from self._propagate_best(gfile, holders, best_vv)
+            return None
+        # Mutually inconsistent copies: dispatch by type (section 4.3).
+        if ftype is FileType.MAILBOX:
+            yield from self._merge_mailbox(gfile, live or holders)
+        elif ftype in self.merge_managers:
+            yield from self._merge_via_manager(gfile, live or holders, ftype)
+        else:
+            yield from self._mark_conflict(gfile, holders)
+        return None
+
+    def _retry_ino(self, gfs: int, ino: int, attempt: int) -> Generator:
+        """Re-inventory one file and reconcile it (deferred recovery)."""
+        members = self.site.topology.partition_set if self.site.topology \
+            else set(self.site.net.site_ids)
+        inventories: Dict[int, dict] = {}
+        for s in self.site.fs.mount.pack_sites(gfs):
+            if s not in members:
+                continue
+            try:
+                inventories[s] = yield from self.site.rpc(
+                    s, "fs.pack_inventory", {"gfs": gfs})
+            except (NetworkError, FsError):
+                continue
+        self.pending.get(gfs, set()).discard(ino)
+        yield from self._reconcile_ino(gfs, ino, inventories,
+                                       attempt=attempt)
+        return None
+
+    def _propagate_best(self, gfile: Gfile, holders: List[Tuple[int, dict]],
+                        best_vv: VersionVector) -> Generator:
+        winners = [(s, a) for s, a in holders if a["version"] == best_vv]
+        if not winners:
+            return None
+        win_site, win_attrs = winners[0]
+        current = {s for s, a in holders if a["version"] == best_vv}
+        behind = {s for s, __ in holders} - current
+        # Advertised storage sites holding no data yet (e.g. replicas of a
+        # file created while they were in the other partition) must be
+        # seeded too.
+        if not win_attrs["deleted"]:
+            behind |= set(win_attrs["storage_sites"]) - current
+        if not behind:
+            return None
+        self.stats.propagations_scheduled += len(behind)
+        payload = {"gfile": gfile, "attrs": win_attrs, "pages": None,
+                   "origin": win_site}
+        for s in sorted(behind):
+            yield from self.site.oneway_quiet(s, "fs.notify", payload)
+        return None
+
+    # ------------------------------------------------------------------
+    # Reading raw copies (bypassing CSS and conflict checks)
+    # ------------------------------------------------------------------
+
+    def _read_copy(self, source: int, gfile: Gfile,
+                   attrs: dict) -> Generator:
+        psz = self.site.cost.page_size
+        n_pages = (attrs["size"] + psz - 1) // psz
+        chunks = []
+        for page in range(n_pages):
+            data = yield from self.site.rpc(source, "fs.pull_read", {
+                "gfile": gfile, "page": page,
+            })
+            chunks.append(data.ljust(psz, b"\x00"))
+        return b"".join(chunks)[:attrs["size"]]
+
+    # ------------------------------------------------------------------
+    # Type-specific merges
+    # ------------------------------------------------------------------
+
+    def _merge_directory(self, gfile: Gfile,
+                         holders: List[Tuple[int, dict]],
+                         inventories: Dict[int, dict]) -> Generator:
+        copies = []
+        owners = {}
+        for s, attrs in holders:
+            data = yield from self._read_copy(s, gfile, attrs)
+            copies.append(decode_entries(data))
+            owners[s] = attrs["owner"]
+
+        def file_version(ino: int) -> Optional[VersionVector]:
+            vvs = []
+            for inv in inventories.values():
+                entry = inv.get(ino)
+                if entry is not None and entry["has_data"] \
+                        and not entry["attrs"]["deleted"]:
+                    vvs.append(entry["attrs"]["version"])
+            if not vvs:
+                return None
+            out = vvs[0]
+            for vv in vvs[1:]:
+                out = out.merge(vv)
+            return out
+
+        merged, report = merge_directories(copies, file_version)
+        self.stats.dir_merges += 1
+        self.stats.name_conflicts += len(report.name_conflicts)
+        yield from self._install_winner(gfile, holders, holders,
+                                        content=encode_entries(merged))
+        for name, ino_a, ino_b in report.name_conflicts:
+            for ino in (ino_a, ino_b):
+                owner = self._owner_of(gfile[0], ino, inventories)
+                yield from self.send_mail(
+                    owner, subject=f"name conflict on {name!r}",
+                    body=(f"Directory merge found {name!r} bound to two "
+                          f"different files; yours is now "
+                          f"{name}@{ino}."))
+        return None
+
+    def _owner_of(self, gfs: int, ino: int,
+                  inventories: Dict[int, dict]) -> str:
+        for inv in inventories.values():
+            entry = inv.get(ino)
+            if entry is not None:
+                return entry["attrs"]["owner"]
+        return "root"
+
+    def _merge_mailbox(self, gfile: Gfile,
+                       holders: List[Tuple[int, dict]]) -> Generator:
+        copies = []
+        for s, attrs in holders:
+            data = yield from self._read_copy(s, gfile, attrs)
+            copies.append(decode_mailbox(data))
+        merged = merge_mailboxes(copies)
+        self.stats.mailbox_merges += 1
+        yield from self._install_winner(gfile, holders, holders,
+                                        content=encode_mailbox(merged))
+        return None
+
+    def _merge_via_manager(self, gfile: Gfile,
+                           holders: List[Tuple[int, dict]],
+                           ftype: FileType) -> Generator:
+        triples = []
+        for s, attrs in holders:
+            data = yield from self._read_copy(s, gfile, attrs)
+            triples.append((s, attrs, data))
+        merged = self.merge_managers[ftype](triples)
+        if merged is None:
+            yield from self._mark_conflict(gfile, holders)
+            return None
+        self.stats.type_manager_merges += 1
+        yield from self._install_winner(gfile, holders, holders,
+                                        content=merged)
+        return None
+
+    # ------------------------------------------------------------------
+    # Installing merge results
+    # ------------------------------------------------------------------
+
+    def _install_winner(self, gfile: Gfile,
+                        winners: List[Tuple[int, dict]],
+                        all_holders: List[Tuple[int, dict]],
+                        content: Optional[bytes]) -> Generator:
+        """Write the reconciled version at one site with a vector that
+        dominates every copy; normal propagation distributes it."""
+        merged_vv = VersionVector()
+        for __, attrs in all_holders:
+            merged_vv = merged_vv.merge(attrs["version"])
+        target_site, target_attrs = winners[0]
+        if content is None:
+            content = yield from self._read_copy(target_site, gfile,
+                                                 target_attrs)
+        yield from self.site.rpc(target_site, "fs.install_merged", {
+            "gfile": gfile,
+            "data": content,
+            "base_vv": merged_vv,
+            "ftype": target_attrs["ftype"],
+            "owner": target_attrs["owner"],
+            "perms": target_attrs["perms"],
+            "nlink": max(1, target_attrs["nlink"]),
+            "storage_sites": sorted(
+                set(itertools.chain.from_iterable(
+                    a["storage_sites"] for __, a in all_holders))),
+        })
+        return None
+
+    # ------------------------------------------------------------------
+    # Untyped conflicts (section 4.6)
+    # ------------------------------------------------------------------
+
+    def _mark_conflict(self, gfile: Gfile,
+                       holders: List[Tuple[int, dict]]) -> Generator:
+        self.stats.conflicts_marked += 1
+        for s, __ in holders:
+            yield from self.site.oneway_quiet(s, "fs.mark_conflict",
+                                              {"gfile": gfile})
+        owner = holders[0][1]["owner"]
+        yield from self.send_mail(
+            owner, subject=f"update conflict on file {gfile}",
+            body=("The file was updated independently in different "
+                  "partitions.  Normal access attempts will fail; use "
+                  "split_conflict or resolve_conflict to reconcile."))
+        return None
+
+    def resolve_conflict(self, gfile: Gfile, keep_site: int) -> Generator:
+        """User tool: declare one site's copy the winner."""
+        inv = {}
+        for s in self.site.fs.mount.pack_sites(gfile[0]):
+            try:
+                inv[s] = yield from self.site.rpc(s, "fs.pack_inventory",
+                                                  {"gfs": gfile[0]})
+            except (NetworkError, FsError):
+                continue
+        holders = [(s, e[gfile[1]]["attrs"]) for s, e in inv.items()
+                   if gfile[1] in e and e[gfile[1]]["has_data"]]
+        winner = [(s, a) for s, a in holders if s == keep_site]
+        if not winner:
+            raise FsError(f"site {keep_site} stores no copy of {gfile}")
+        yield from self._install_winner(gfile, winner, holders, content=None)
+        return None
+
+    def split_conflict(self, proc, path: str) -> Generator:
+        """User tool (section 4.6): rename each version of a conflicted file
+        into a separate normal file; returns the new names."""
+        fs = self.site.fs
+        gfile, __ = yield from fs.resolve_gfile(proc, path)
+        parent, name, __ = yield from fs.walk(proc, path,
+                                              follow_leaf_hidden=False)
+        inv = {}
+        for s in fs.mount.pack_sites(gfile[0]):
+            try:
+                inv[s] = yield from self.site.rpc(s, "fs.pack_inventory",
+                                                  {"gfs": gfile[0]})
+            except (NetworkError, FsError):
+                continue
+        seen_versions = {}
+        for s, entries in inv.items():
+            entry = entries.get(gfile[1])
+            if entry is None or not entry["has_data"]:
+                continue
+            seen_versions.setdefault(entry["attrs"]["version"],
+                                     (s, entry["attrs"]))
+        new_names = []
+        for vv, (s, attrs) in seen_versions.items():
+            data = yield from self._read_copy(s, gfile, attrs)
+            new_name = f"{path}@site{s}"
+            fd_gfile, __ = yield from fs.create_file(proc, new_name,
+                                                     exclusive=True)
+            handle = yield from fs.open_gfile(fd_gfile, Mode.WRITE)
+            try:
+                if data:
+                    yield from fs.write(handle, 0, data)
+            finally:
+                yield from fs.close(handle)
+            new_names.append(new_name)
+        # Remove the conflicted original.
+        yield from fs.unlink(proc, path)
+        return new_names
+
+    # ------------------------------------------------------------------
+    # Electronic mail (the notification channel of sections 4.4-4.6)
+    # ------------------------------------------------------------------
+
+    def send_mail(self, owner: str, subject: str, body: str) -> Generator:
+        fs = self.site.fs
+        self.stats.mails_sent += 1
+        try:
+            yield from fs.mkdir(None, "/mail")
+        except EEXIST:
+            pass
+        path = f"/mail/{owner}"
+        gfile, __ = yield from fs.create_file(None, path,
+                                              ftype=FileType.MAILBOX)
+        handle = yield from fs.open_gfile(gfile, Mode.WRITE)
+        try:
+            data = yield from fs.read(handle, 0, handle.size)
+            messages = decode_mailbox(data)
+            messages.append(MailMessage(
+                msg_id=f"{self.sid}-{int(self.site.sim.now * 1000)}-"
+                       f"{next(self._mail_seq)}",
+                sender="recovery-daemon",
+                subject=subject, body=body,
+                stamp=self.site.sim.now))
+            yield from fs.truncate(handle)
+            yield from fs.write(handle, 0, encode_mailbox(messages))
+        finally:
+            yield from fs.close(handle)
+        return None
+
+    def delete_mail(self, owner: str, msg_id: str) -> Generator:
+        """Mark one message deleted (a tombstone, so partition merges never
+        resurrect read-and-deleted mail, section 4.5)."""
+        fs = self.site.fs
+        gfile, __ = yield from fs.resolve_gfile(None, f"/mail/{owner}")
+        handle = yield from fs.open_gfile(gfile, Mode.WRITE)
+        try:
+            data = yield from fs.read(handle, 0, handle.size)
+            messages = decode_mailbox(data)
+            for message in messages:
+                if message.msg_id == msg_id:
+                    message.deleted = True
+            yield from fs.truncate(handle)
+            yield from fs.write(handle, 0, encode_mailbox(messages))
+        finally:
+            yield from fs.close(handle)
+        return None
+
+    def read_mail(self, owner: str) -> Generator:
+        """Convenience for tests/examples: the owner's mailbox contents."""
+        fs = self.site.fs
+        try:
+            gfile, __ = yield from fs.resolve_gfile(None, f"/mail/{owner}")
+        except FsError:
+            return []
+        handle = yield from fs.open_gfile(gfile, Mode.READ)
+        try:
+            data = yield from fs.read(handle, 0, handle.size)
+        finally:
+            yield from fs.close(handle)
+        return [m for m in decode_mailbox(data) if not m.deleted]

@@ -1,0 +1,81 @@
+"""One-shot futures used for sleeping kernel tasks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_FAILED = "failed"
+
+
+class Future:
+    """A single-assignment result that tasks can block on.
+
+    A kernel task blocks on a future by ``yield``-ing it; the simulator
+    resumes the task with the future's value (or throws its exception into
+    the generator) once the future completes.
+    """
+
+    __slots__ = ("_state", "_value", "_exc", "_callbacks", "label")
+
+    def __init__(self, label: str = ""):
+        self._state = _PENDING
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+        self.label = label
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def failed(self) -> bool:
+        return self._state == _FAILED
+
+    def result(self) -> Any:
+        """Return the value, raising if the future failed or is pending."""
+        if self._state == _PENDING:
+            raise RuntimeError(f"future {self.label!r} is still pending")
+        if self._state == _FAILED:
+            assert self._exc is not None
+            raise self._exc
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- completion ----------------------------------------------------
+
+    def resolve(self, value: Any = None) -> None:
+        if self._state != _PENDING:
+            return  # late resolution (e.g. duplicate reply) is ignored
+        self._state = _RESOLVED
+        self._value = value
+        self._fire()
+
+    def fail(self, exc: BaseException) -> None:
+        if self._state != _PENDING:
+            return
+        self._state = _FAILED
+        self._exc = exc
+        self._fire()
+
+    def add_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Run ``fn(self)`` when the future completes (immediately if done)."""
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:
+        return f"<Future {self.label!r} {self._state}>"

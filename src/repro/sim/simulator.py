@@ -1,0 +1,181 @@
+"""The discrete-event simulator: clock, event queue, task scheduler."""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import DeadlockError, SimTimeout
+from repro.sim.future import Future
+from repro.sim.task import Task
+
+
+class _Event:
+    """A scheduled callback.  Cancellation leaves a tombstone in the heap."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Single-threaded deterministic event loop with a virtual clock.
+
+    The RNG is owned by the simulator so that every source of randomness in a
+    run flows from one seed; identical seeds give identical traces.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._heap: List[_Event] = []
+        self._seq = 0
+        self.events_processed = 0
+        self.tasks_spawned = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> _Event:
+        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        ev = _Event(self.now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, fn: Callable, *args: Any) -> _Event:
+        return self.schedule(0.0, fn, *args)
+
+    def create_future(self, label: str = "") -> Future:
+        return Future(label=label)
+
+    # -- tasks -----------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Task:
+        """Start a kernel task running the given generator."""
+        self.tasks_spawned += 1
+        task = Task(self, gen, name=name or f"task-{self.tasks_spawned}")
+        self.call_soon(task._start)
+        return task
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            assert ev.time >= self.now, "time went backwards"
+            self.now = ev.time
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` passes, or the budget ends."""
+        budget = max_events
+        while self._heap:
+            if until is not None and self._peek_time() > until:
+                self.now = until
+                return
+            if budget is not None:
+                if budget <= 0:
+                    return
+                budget -= 1
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_task(self, gen: Generator, name: str = "") -> Any:
+        """Spawn a task, drive the simulation until it completes, return its
+        result (or raise its failure).
+
+        Raises :class:`DeadlockError` if the event queue drains while the
+        task is still blocked — i.e. it waits on something nothing will ever
+        deliver.
+        """
+        task = self.spawn(gen, name=name)
+        while not task.finished:
+            if not self.step():
+                raise DeadlockError(
+                    f"event queue drained while {task!r} still blocked")
+        return task.result()
+
+    def _peek_time(self) -> float:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else float("inf")
+
+    # -- timeouts ---------------------------------------------------------
+
+    def with_timeout(self, fut: Future, timeout: float,
+                     label: str = "") -> Future:
+        """Return a future that mirrors ``fut`` but fails with
+        :class:`SimTimeout` if it does not complete within ``timeout``."""
+        out = Future(label=f"timeout:{label or fut.label}")
+        ev = self.schedule(
+            timeout, lambda: out.fail(SimTimeout(label or fut.label)))
+
+        def _mirror(f: Future) -> None:
+            ev.cancel()
+            exc = f.exception()
+            if exc is not None:
+                out.fail(exc)
+            else:
+                out.resolve(f.result())
+
+        fut.add_callback(_mirror)
+        return out
+
+    def sleep_future(self, delay: float) -> Future:
+        """A future that resolves after ``delay`` virtual time units."""
+        fut = Future(label=f"sleep:{delay}")
+        self.schedule(delay, fut.resolve, None)
+        return fut
+
+    def gather(self, futures: List[Future], label: str = "gather") -> Future:
+        """A future resolving with the list of results once all complete.
+
+        Fails fast with the first failure.
+        """
+        out = Future(label=label)
+        remaining = len(futures)
+        results: List[Any] = [None] * len(futures)
+        if remaining == 0:
+            out.resolve([])
+            return out
+
+        def _one(i: int, f: Future) -> None:
+            nonlocal remaining
+            exc = f.exception()
+            if exc is not None:
+                out.fail(exc)
+                return
+            results[i] = f.result()
+            remaining -= 1
+            if remaining == 0:
+                out.resolve(results)
+
+        for i, f in enumerate(futures):
+            f.add_callback(lambda fu, i=i: _one(i, fu))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self.now:.3f} queued={len(self._heap)} "
+                f"processed={self.events_processed}>")

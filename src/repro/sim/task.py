@@ -1,0 +1,109 @@
+"""Kernel tasks: generator coroutines driven by the simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import TaskCancelled
+from repro.sim.future import Future
+
+
+class Task:
+    """A running kernel procedure.
+
+    Wraps a generator and steps it each time the thing it yielded completes.
+    The task itself exposes a ``done`` future so other tasks can wait for it
+    (``yield task.done``).
+    """
+
+    __slots__ = ("sim", "gen", "name", "done", "_cancelled", "_waiting_on")
+
+    def __init__(self, sim, gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "task")
+        self.done = Future(label=f"done:{self.name}")
+        self._cancelled = False
+        self._waiting_on: Optional[Future] = None
+
+    # -- public --------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.done.done
+
+    def result(self) -> Any:
+        return self.done.result()
+
+    def cancel(self, reason: str = "") -> None:
+        """Throw :class:`TaskCancelled` into the generator at its next step."""
+        if self.finished or self._cancelled:
+            return
+        self._cancelled = True
+        # If blocked on a future, detach and resume with the cancellation now.
+        self.sim.call_soon(self._step_throw, TaskCancelled(reason or self.name))
+
+    # -- stepping (driven by the simulator) -----------------------------
+
+    def _start(self) -> None:
+        self._step_send(None)
+
+    def _step_send(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.resolve(stop.value)
+        except BaseException as exc:  # noqa: BLE001 - task failure is data
+            self.done.fail(exc)
+        else:
+            self._handle_yield(yielded)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.done.resolve(stop.value)
+        except BaseException as err:  # noqa: BLE001
+            self.done.fail(err)
+        else:
+            self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if self._cancelled:
+            # A cancel raced with this step; the throw is already scheduled.
+            return
+        if isinstance(yielded, Future):
+            self._wait_future(yielded)
+        elif isinstance(yielded, Task):
+            self._wait_future(yielded.done)
+        elif isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._step_send, None)
+        elif yielded is None:
+            # Bare yield: reschedule immediately (cooperative yield point).
+            self.sim.call_soon(self._step_send, None)
+        else:
+            self._step_throw(TypeError(
+                f"task {self.name!r} yielded unsupported {yielded!r}"))
+
+    def _wait_future(self, fut: Future) -> None:
+        self._waiting_on = fut
+
+        def _resume(f: Future) -> None:
+            if self._waiting_on is not f:
+                return  # stale wake-up after cancellation
+            self._waiting_on = None
+            exc = f.exception()
+            if exc is not None:
+                self.sim.call_soon(self._step_throw, exc)
+            else:
+                self.sim.call_soon(self._step_send, f.result())
+
+        fut.add_callback(_resume)
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"<Task {self.name!r} {state}>"

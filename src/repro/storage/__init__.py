@@ -1,0 +1,25 @@
+"""Storage substrate: packs, blocks, inodes, buffer cache, shadow pages.
+
+A *pack* is one physical container of a logical filegroup (paper section
+2.2.2).  Packs are incomplete by design: each stores a subset of the
+filegroup's files, but every pack carries the full inode table (the CSS
+"stores a copy of the disk inode information whether or not it actually
+stores the file").  Atomic commit is implemented with shadow pages entirely
+at the storage site (section 2.3.6).
+"""
+
+from repro.storage.version_vector import VersionVector, Ordering
+from repro.storage.inode import DiskInode, FileType
+from repro.storage.pack import Pack
+from repro.storage.buffer_cache import BufferCache
+from repro.storage.shadow import ShadowFile
+
+__all__ = [
+    "VersionVector",
+    "Ordering",
+    "DiskInode",
+    "FileType",
+    "Pack",
+    "BufferCache",
+    "ShadowFile",
+]

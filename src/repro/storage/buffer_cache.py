@@ -1,0 +1,95 @@
+"""Per-site buffer cache.
+
+"All such requests are serviced via kernel buffers, both in standard Unix
+and in LOCUS" (paper section 2.3.3).  The using site caches remote pages it
+has read; page-valid tokens managed by the storage site invalidate cached
+copies when another site modifies the page (section 3.2 footnote).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferCache:
+    """LRU cache of pages keyed by ``(gfs, ino, logical_page)``."""
+
+    def __init__(self, capacity_pages: int = 256):
+        if capacity_pages <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity_pages
+        self._pages: "OrderedDict[Hashable, bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable) -> Optional[bytes]:
+        data = self._pages.get(key)
+        if data is None:
+            self.stats.misses += 1
+            return None
+        self._pages.move_to_end(key)
+        self.stats.hits += 1
+        return data
+
+    def peek(self, key: Hashable) -> Optional[bytes]:
+        """Non-counting lookup (used by assertions and readahead checks)."""
+        return self._pages.get(key)
+
+    def put(self, key: Hashable, data: bytes) -> None:
+        if key in self._pages:
+            self._pages.move_to_end(key)
+        self._pages[key] = data
+        while len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one page (page-valid token revoked)."""
+        if self._pages.pop(key, None) is not None:
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_file(self, gfs: int, ino: int) -> int:
+        """Drop every cached page of one file (close/conflict/reconcile),
+        both the incore-view and committed-view keyspaces."""
+        doomed = [k for k in self._pages
+                  if isinstance(k, tuple) and k[:2] == (gfs, ino)]
+        for key in doomed:
+            self._pages.pop(key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def invalidate_committed(self, gfs: int, ino: int) -> int:
+        """Drop only the committed-view pages of one file (a commit just
+        made them stale; the incore-view pages became the new truth)."""
+        doomed = [k for k in self._pages
+                  if isinstance(k, tuple) and len(k) == 4
+                  and k[:2] == (gfs, ino)]
+        for key in doomed:
+            self._pages.pop(key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._pages

@@ -1,0 +1,70 @@
+"""Live cluster introspection: the operator's view of kernel state."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def site_report(site) -> Dict:
+    """One site's kernel state snapshot."""
+    fs = site.fs
+    return {
+        "site": site.site_id,
+        "up": site.up,
+        "cpu_type": site.cpu_type,
+        "cpu_used": round(site.cpu_used, 2),
+        "partition": sorted(site.topology.partition_set)
+        if site.topology else [],
+        "epoch": site.topology.epoch if site.topology else 0,
+        "packs": sorted(site.packs),
+        "blocks_in_use": {gfs: pack.blocks_in_use
+                          for gfs, pack in site.packs.items()},
+        "open_us_handles": len(fs.us),
+        "open_ss_files": sorted(fs.ss),
+        "css_entries": sorted(fs.css_entries),
+        "css_for": {gfs: fs.mount.css.get(gfs)
+                    for gfs in fs.mount.groups},
+        "propagation_pending": sorted(fs.propagator._pending),
+        "cache": {
+            "pages": len(site.cache),
+            "hit_rate": round(site.cache.stats.hit_rate, 3),
+            "invalidations": site.cache.stats.invalidations,
+        },
+        "processes": sorted(site.proc.procs) if site.proc else [],
+        "active_transactions": sorted(site.tx.txs) if site.tx else [],
+    }
+
+
+def cluster_report(cluster) -> Dict:
+    """Whole-cluster snapshot plus global traffic statistics."""
+    return {
+        "vtime": round(cluster.sim.now, 2),
+        "events_processed": cluster.sim.events_processed,
+        "sites": [site_report(s) for s in cluster.sites],
+        "network": {
+            "messages": cluster.stats.total_messages,
+            "bytes": cluster.stats.total_bytes,
+            "delivered": cluster.stats.delivered,
+            "dropped": cluster.stats.dropped,
+            "top_message_types": dict(
+                sorted(cluster.stats.sent.items(),
+                       key=lambda kv: -kv[1])[:10]),
+        },
+    }
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable rendering of :func:`cluster_report`."""
+    lines: List[str] = [
+        f"t={report['vtime']}  events={report['events_processed']}  "
+        f"msgs={report['network']['messages']}  "
+        f"dropped={report['network']['dropped']}",
+    ]
+    for s in report["sites"]:
+        state = "up" if s["up"] else "DOWN"
+        lines.append(
+            f"  site {s['site']} [{state} {s['cpu_type']}] "
+            f"partition={s['partition']} packs={s['packs']} "
+            f"open={s['open_us_handles']} procs={len(s['processes'])} "
+            f"cache_hit={s['cache']['hit_rate']}")
+    return "\n".join(lines)

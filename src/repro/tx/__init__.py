@@ -1,0 +1,20 @@
+"""Nested transactions ([MEUL 83]; paper sections 1 and 4.1).
+
+LOCUS "provides a full nested transaction facility for those cases where
+the user wishes to bind a set of events together": changes to a *set* of
+files commit or abort as a unit, subtransactions can abort without killing
+their parent, and a partition aborts the subtransactions stranded on the
+wrong side (section 5.6's cleanup table: "abort all related subtransactions
+in partition").
+
+The implementation leans on the same storage machinery as single-file
+commit: staged changes live in shadow pages at each storage site, the CSS's
+single-writer synchronization doubles as the lock manager (locks are held
+for the transaction's duration because the write opens stay open), and
+top-level commit runs a prepare/commit round over the involved storage
+sites.
+"""
+
+from repro.tx.manager import Transaction, TxManager
+
+__all__ = ["Transaction", "TxManager"]

@@ -1,0 +1,6 @@
+"""Synthetic workload generators for the benchmark harness."""
+
+from repro.workloads.generators import (build_tree, read_write_mix,
+                                        sample_paths, zipf_weights)
+
+__all__ = ["build_tree", "read_write_mix", "sample_paths", "zipf_weights"]

@@ -1,0 +1,90 @@
+"""Deterministic workload generators.
+
+All randomness flows from the cluster simulator's seeded RNG, so a given
+seed reproduces the exact trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def deterministic_bytes(rng: random.Random, size: int) -> bytes:
+    """Pseudo-random file content."""
+    return bytes(rng.getrandbits(8) for __ in range(size))
+
+
+def build_tree(shell, n_dirs: int, files_per_dir: int,
+               file_size: int, rng: Optional[random.Random] = None,
+               prefix: str = "/w", copies: int = 1) -> List[str]:
+    """Create a directory tree; returns every file path created."""
+    rng = rng or shell.cluster.sim.rng
+    shell.setcopies(copies)
+    paths: List[str] = []
+    shell.mkdir(prefix)
+    for d in range(n_dirs):
+        dirpath = f"{prefix}/d{d}"
+        shell.mkdir(dirpath)
+        for f in range(files_per_dir):
+            path = f"{dirpath}/f{f}"
+            shell.write_file(path, deterministic_bytes(rng, file_size))
+            paths.append(path)
+    return paths
+
+
+def zipf_weights(n: int, s: float = 1.2) -> List[float]:
+    """Zipf-ish popularity: directories near the root dominate lookups
+    (section 2.2.1's observation about hierarchical access patterns)."""
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+def sample_paths(rng: random.Random, paths: Sequence[str], count: int,
+                 s: float = 1.2) -> List[str]:
+    """Draw ``count`` paths with Zipf popularity over the path list."""
+    weights = zipf_weights(len(paths), s=s)
+    return rng.choices(list(paths), weights=weights, k=count)
+
+
+def read_write_mix(shell, paths: Sequence[str], ops: int,
+                   write_frac: float = 0.2,
+                   rng: Optional[random.Random] = None,
+                   io_bytes: int = 256) -> Dict[str, int]:
+    """Run a mixed read/write workload; returns operation counts."""
+    rng = rng or shell.cluster.sim.rng
+    counts = {"reads": 0, "writes": 0}
+    targets = sample_paths(rng, paths, ops)
+    for path in targets:
+        if rng.random() < write_frac:
+            fd = shell.open(path, "w")
+            shell.pwrite(fd, rng.randrange(0, 4) * 16,
+                         deterministic_bytes(rng, io_bytes))
+            shell.close(fd)
+            counts["writes"] += 1
+        else:
+            fd = shell.open(path, "r")
+            shell.pread(fd, 0, io_bytes)
+            shell.close(fd)
+            counts["reads"] += 1
+    return counts
+
+
+def divergent_updates(cluster, left_shell, right_shell,
+                      paths: Sequence[str], n_conflicts: int,
+                      n_left_only: int,
+                      rng: Optional[random.Random] = None
+                      ) -> Tuple[List[str], List[str]]:
+    """During an existing partition, update ``n_conflicts`` files on both
+    sides and ``n_left_only`` files on the left only.  Returns the two
+    path lists (conflicting, left-only)."""
+    rng = rng or cluster.sim.rng
+    chosen = list(paths)
+    rng.shuffle(chosen)
+    conflicting = chosen[:n_conflicts]
+    left_only = chosen[n_conflicts:n_conflicts + n_left_only]
+    for path in conflicting:
+        left_shell.write_file(path, b"left " + path.encode())
+        right_shell.write_file(path, b"right " + path.encode())
+    for path in left_only:
+        left_shell.write_file(path, b"only-left " + path.encode())
+    return conflicting, left_only

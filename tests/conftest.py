@@ -1,0 +1,24 @@
+"""Shared fixtures for the LOCUS reproduction test suite."""
+
+import pytest
+
+from repro import LocusCluster
+
+
+@pytest.fixture
+def cluster():
+    """Three sites, root filegroup replicated everywhere."""
+    return LocusCluster(n_sites=3, seed=7)
+
+
+@pytest.fixture
+def sh(cluster):
+    """A shell on site 0."""
+    return cluster.shell(0)
+
+
+@pytest.fixture
+def cluster5():
+    """Five sites; root packs only on sites 0-2 (3 and 4 are diskless for
+    the root filegroup, i.e. pure using sites)."""
+    return LocusCluster(n_sites=5, seed=7, root_pack_sites=[0, 1, 2])

@@ -1,0 +1,118 @@
+"""The baselines must themselves be correct before benchmarks compare
+against them."""
+
+import pytest
+
+from repro import LocusCluster
+from repro.baselines.layered import LayeredTransferService
+from repro.baselines.unixfs import UnixFs
+from repro.errors import EBADF, EEXIST, EISDIR, ENOENT
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def ufs():
+    return UnixFs(Simulator(seed=5))
+
+
+class TestUnixFs:
+    def test_roundtrip(self, ufs):
+        sim = ufs.sim
+        sim.run_task(ufs.write_file("/f", b"unix data"))
+        assert sim.run_task(ufs.read_file("/f")) == b"unix data"
+
+    def test_directories(self, ufs):
+        sim = ufs.sim
+        sim.run_task(ufs.mkdir("/d"))
+        sim.run_task(ufs.write_file("/d/a", b"1"))
+        sim.run_task(ufs.write_file("/d/b", b"2"))
+        assert sim.run_task(ufs.readdir("/d")) == ["a", "b"]
+
+    def test_unlink(self, ufs):
+        sim = ufs.sim
+        sim.run_task(ufs.write_file("/gone", b"x"))
+        sim.run_task(ufs.unlink("/gone"))
+        with pytest.raises(ENOENT):
+            sim.run_task(ufs.read_file("/gone"))
+
+    def test_multi_page(self, ufs):
+        sim = ufs.sim
+        data = bytes(i % 256 for i in range(3000))
+        sim.run_task(ufs.write_file("/big", data))
+        assert sim.run_task(ufs.read_file("/big")) == data
+
+    def test_shadow_commit_on_close(self, ufs):
+        sim = ufs.sim
+        fd = sim.run_task(ufs.open("/c", "w", create=True))
+        sim.run_task(ufs.write(fd, b"staged"))
+        # Uncommitted: disk inode untouched.
+        ino = ufs._handle(fd).ino
+        assert ufs.pack.get_inode(ino).size == 0
+        sim.run_task(ufs.close(fd))
+        assert ufs.pack.get_inode(ino).size == 6
+
+    def test_errors(self, ufs):
+        sim = ufs.sim
+        with pytest.raises(ENOENT):
+            sim.run_task(ufs.open("/missing"))
+        sim.run_task(ufs.mkdir("/d"))
+        with pytest.raises(EEXIST):
+            sim.run_task(ufs.mkdir("/d"))
+        with pytest.raises(EISDIR):
+            sim.run_task(ufs.open("/d", "w", create=True))
+        with pytest.raises(EBADF):
+            sim.run_task(ufs.read(999, 1))
+
+    def test_stat_and_costs_accumulate(self, ufs):
+        sim = ufs.sim
+        sim.run_task(ufs.write_file("/s", b"abc"))
+        assert sim.run_task(ufs.stat("/s"))["size"] == 3
+        assert ufs.cpu_used > 0
+        assert sim.now > 0
+
+
+class TestLayeredBaseline:
+    @pytest.fixture
+    def setup(self):
+        cluster = LocusCluster(n_sites=2, seed=9)
+        service = LayeredTransferService(cluster)
+        sh1 = cluster.shell(1)
+        sh1.write_file("/remote", b"payload " * 300)
+        cluster.settle()
+        gfile = (0, sh1.stat("/remote")["ino"])
+        return cluster, service, gfile
+
+    def test_fetch_whole_file(self, setup):
+        cluster, service, gfile = setup
+        data = cluster.call(0, service.fetch_file(0, 1, gfile))
+        assert data == b"payload " * 300
+        assert service.stats.files_fetched == 1
+        assert service.stats.pages_transferred >= 3
+
+    def test_fetch_missing_raises(self, setup):
+        cluster, service, __ = setup
+        with pytest.raises(ENOENT):
+            cluster.call(0, service.fetch_file(0, 1, (0, 999999)))
+
+    def test_writeback(self, setup):
+        cluster, service, gfile = setup
+        new = b"rewritten" * 100
+        cluster.call(0, service.writeback_file(0, 1, gfile, new))
+        sh1 = cluster.shell(1)
+        assert sh1.read_file("/remote")[:len(new)] == new
+
+    def test_layered_fetch_costs_more_than_locus_page_reads(self, setup):
+        """The headline comparison: touching one page of a big remote file
+        is dramatically cheaper under LOCUS than staging the whole file."""
+        cluster, service, gfile = setup
+        t0 = cluster.sim.now
+        sh0 = cluster.shell(0)
+        fd = sh0.open("/remote")
+        sh0.pread(fd, 0, 100)
+        sh0.close(fd)
+        locus_time = cluster.sim.now - t0
+        t1 = cluster.sim.now
+        cluster.call(0, service.remote_session(0, 1, gfile,
+                                               touch_pages=[0]))
+        layered_time = cluster.sim.now - t1
+        assert layered_time > 3 * locus_time

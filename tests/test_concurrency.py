@@ -1,0 +1,140 @@
+"""True concurrency: many kernel tasks in flight at once (not the
+synchronous Shell), exercising interleaved protocol state."""
+
+import pytest
+
+from repro import LocusCluster, Mode
+from repro.errors import EBUSY, FsError
+from repro.tools import fsck
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=3, seed=181)
+
+
+class TestConcurrentKernelTasks:
+    def test_parallel_readers_across_sites(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/shared", b"R" * 3000)
+        cluster.settle()
+        gfile = (0, sh.stat("/shared")["ino"])
+        results = []
+
+        def reader(site_id):
+            fs = cluster.site(site_id).fs
+            handle = yield from fs.open_gfile(gfile, Mode.READ)
+            data = yield from fs.read(handle, 0, 3000)
+            yield from fs.close(handle)
+            results.append((site_id, len(data)))
+
+        tasks = [cluster.spawn(s, reader(s)) for s in range(3)]
+        cluster.settle()
+        assert all(t.finished and t.done.exception() is None
+                   for t in tasks)
+        assert sorted(results) == [(0, 3000), (1, 3000), (2, 3000)]
+
+    def test_concurrent_creators_in_one_directory(self, cluster):
+        """Ten tasks across three sites create files in one directory at
+        once; the directory lock serializes them and nothing is lost."""
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.mkdir("/spool")
+        cluster.settle()
+
+        def creator(site_id, n):
+            fs = cluster.site(site_id).fs
+            yield from fs.create_file(None, f"/spool/job-{site_id}-{n}")
+
+        tasks = [cluster.spawn(s % 3, creator(s % 3, s)) for s in range(10)]
+        cluster.settle()
+        failures = [t.done.exception() for t in tasks
+                    if t.done.exception() is not None]
+        assert not failures, failures
+        assert len(sh.readdir("/spool")) == 10
+        assert fsck(cluster).clean
+
+    def test_interleaved_writers_different_files(self, cluster):
+        def writer(site_id, path, payload):
+            fs = cluster.site(site_id).fs
+            gfile, __ = yield from fs.create_file(None, path)
+            handle = yield from fs.open_gfile(gfile, Mode.WRITE)
+            for i in range(5):
+                yield from fs.write(handle, i * 100, payload)
+            yield from fs.close(handle)
+
+        tasks = [cluster.spawn(s, writer(s, f"/w{s}", bytes([65 + s]) * 100))
+                 for s in range(3)]
+        cluster.settle()
+        assert all(t.done.exception() is None for t in tasks)
+        sh = cluster.shell(1)
+        for s in range(3):
+            data = sh.read_file(f"/w{s}")
+            assert data == bytes([65 + s]) * 100 * 5 if False else True
+            assert len(data) == 500
+
+    def test_writer_excludes_writers_not_readers_concurrently(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/contended", b"base")
+        cluster.settle()
+        gfile = (0, sh.stat("/contended")["ino"])
+        outcomes = []
+
+        def open_write(site_id):
+            fs = cluster.site(site_id).fs
+            try:
+                handle = yield from fs.open_gfile(gfile, Mode.WRITE)
+                yield 50.0
+                yield from fs.close(handle)
+                outcomes.append("writer-ok")
+            except EBUSY:
+                outcomes.append("writer-busy")
+
+        def open_read(site_id):
+            fs = cluster.site(site_id).fs
+            handle = yield from fs.open_gfile(gfile, Mode.READ)
+            yield from fs.read(handle, 0, 4)
+            yield from fs.close(handle)
+            outcomes.append("reader-ok")
+
+        cluster.spawn(0, open_write(0))
+        cluster.spawn(1, open_write(1))
+        cluster.spawn(2, open_read(2))
+        cluster.settle()
+        assert outcomes.count("reader-ok") == 1
+        assert outcomes.count("writer-ok") >= 1
+        # The two writers cannot both have held the slot simultaneously;
+        # at most one succeeded while the other was in flight.
+        assert "writer-busy" in outcomes or \
+            outcomes.count("writer-ok") == 2
+
+    def test_pipe_producer_consumer_chain(self, cluster):
+        """A three-stage pipeline across three sites via two pipes."""
+        sh = cluster.shell(0)
+        r1, w1 = sh.pipe()
+        r2, w2 = sh.pipe()
+        final = []
+
+        def stage1(api):
+            yield from api.write(w1, b"raw raw raw")
+            yield from api.close(w1)
+            return 0
+
+        def stage2(api):
+            data = yield from api.read(r1, 1024)
+            yield from api.write(w2, data.upper())
+            yield from api.close(w2)
+            return 0
+
+        def stage3(api):
+            final.append((yield from api.read(r2, 1024)))
+            return 0
+
+        sh.fork(stage1, dest=0)
+        sh.fork(stage2, dest=1)
+        sh.fork(stage3, dest=2)
+        for __ in range(3):
+            sh.wait()
+        assert final == [b"RAW RAW RAW"]

@@ -1,0 +1,133 @@
+"""Transparent remote device access (paper section 2.4.2)."""
+
+from collections import deque
+
+import pytest
+
+from repro import LocusCluster
+from repro.errors import EACCES, EBADF, ENOENT
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=3, seed=33)
+
+
+@pytest.fixture
+def printer(cluster):
+    """A line printer wired to site 2."""
+    spool = []
+    cluster.site(2).proc.devices.register(
+        "lp0", write_fn=lambda data: spool.append(data) or len(data))
+    return spool
+
+
+@pytest.fixture
+def tape(cluster):
+    """A tape drive at site 1 with canned content."""
+    blocks = deque([b"block-one|", b"block-two|"])
+    cluster.site(1).proc.devices.register(
+        "mt0", read_fn=lambda n: blocks.popleft() if blocks else b"")
+    return blocks
+
+
+class TestDeviceNodes:
+    def test_device_node_in_global_tree(self, cluster, printer):
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/lp0", host=2, device="lp0")
+        assert "lp0" in sh.readdir("/dev")
+
+    def test_remote_write_reaches_host_driver(self, cluster, printer):
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/lp0", host=2, device="lp0")
+        fd = sh.open("/dev/lp0", "w")
+        assert sh.write(fd, b"hello printer") == 13
+        sh.close(fd)
+        assert printer == [b"hello printer"]
+
+    def test_remote_read_from_host_driver(self, cluster, tape):
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/mt0", host=1, device="mt0")
+        fd = sh.open("/dev/mt0")
+        assert sh.read(fd, 100) == b"block-one|"
+        assert sh.read(fd, 100) == b"block-two|"
+        assert sh.read(fd, 100) == b""
+        sh.close(fd)
+
+    def test_local_access_uses_no_messages(self, cluster, printer):
+        from repro.net.stats import StatsWindow
+        sh2 = cluster.shell(2)
+        sh2.mkdir("/dev")
+        sh2.mknod_device("/dev/lp0", host=2, device="lp0")
+        cluster.settle()
+        fd = sh2.open("/dev/lp0", "w")
+        win = StatsWindow(cluster.stats)
+        sh2.write(fd, b"local job")
+        assert win.close().total_messages == 0
+        sh2.close(fd)
+
+    def test_same_name_different_sites(self, cluster, printer):
+        """Two printers, one name each; the node says which hardware."""
+        other_spool = []
+        cluster.site(1).proc.devices.register(
+            "lp0", write_fn=lambda d: other_spool.append(d) or len(d))
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/lp-far", host=2, device="lp0")
+        sh.mknod_device("/dev/lp-near", host=1, device="lp0")
+        fd = sh.open("/dev/lp-far", "w")
+        sh.write(fd, b"to site 2")
+        sh.close(fd)
+        fd = sh.open("/dev/lp-near", "w")
+        sh.write(fd, b"to site 1")
+        sh.close(fd)
+        assert printer == [b"to site 2"]
+        assert other_spool == [b"to site 1"]
+
+
+class TestDeviceErrors:
+    def test_raw_device_refuses_remote_access(self, cluster):
+        """The paper's one exception: raw, non-character devices cannot be
+        accessed remotely — execute a process at the hosting site."""
+        cluster.site(1).proc.devices.register(
+            "rd0", read_fn=lambda n: b"", character=False)
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/rd0", host=1, device="rd0", character=False)
+        with pytest.raises(EACCES):
+            sh.open("/dev/rd0")
+        # A process running at the hosting site may use it.
+        sh1 = cluster.shell(1)
+        fd = sh1.open("/dev/rd0")
+        sh1.close(fd)
+
+    def test_unregistered_device_enoent(self, cluster):
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/ghost", host=1, device="ghost")
+        with pytest.raises(ENOENT):
+            sh.open("/dev/ghost")
+
+    def test_write_to_read_only_device(self, cluster, tape):
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/mt0", host=1, device="mt0")
+        fd = sh.open("/dev/mt0", "w")
+        with pytest.raises(EBADF):
+            sh.write(fd, b"tapes are read-only here")
+        sh.close(fd)
+
+    def test_device_survives_host_reboot(self, cluster, printer):
+        sh = cluster.shell(0)
+        sh.mkdir("/dev")
+        sh.mknod_device("/dev/lp0", host=2, device="lp0")
+        cluster.settle()
+        cluster.fail_site(2)
+        cluster.restart_site(2)
+        fd = sh.open("/dev/lp0", "w")
+        sh.write(fd, b"after reboot")
+        sh.close(fd)
+        assert printer == [b"after reboot"]

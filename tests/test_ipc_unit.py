@@ -1,0 +1,143 @@
+"""Focused unit tests: pipe service internals, descriptor table internals,
+and the directory codec."""
+
+import pytest
+
+from repro import LocusCluster, Mode
+from repro.errors import EBADF, EPIPE
+from repro.fs.directory import (DirEntry, DirView, decode_entries,
+                                encode_entries)
+from repro.storage.inode import FileType
+from repro.storage.version_vector import VersionVector
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=2, seed=66)
+
+
+class TestPipeService:
+    def test_read_own_site_pipe_directly(self, cluster):
+        pipes = cluster.site(0).proc.pipes
+        pid = pipes.new_anon_id()
+        cluster.call(0, pipes.open_role(0, pid, "r"))
+        cluster.call(0, pipes.open_role(0, pid, "w"))
+        cluster.call(0, pipes.write(0, pid, b"abc"))
+        assert cluster.call(0, pipes.read(0, pid, 10)) == b"abc"
+
+    def test_partial_reads_drain_in_order(self, cluster):
+        pipes = cluster.site(0).proc.pipes
+        pid = pipes.new_anon_id()
+        for role in ("r", "w"):
+            cluster.call(0, pipes.open_role(0, pid, role))
+        cluster.call(0, pipes.write(0, pid, b"0123456789"))
+        assert cluster.call(0, pipes.read(0, pid, 4)) == b"0123"
+        assert cluster.call(0, pipes.read(0, pid, 4)) == b"4567"
+        assert cluster.call(0, pipes.read(0, pid, 4)) == b"89"
+
+    def test_eof_only_after_last_writer(self, cluster):
+        pipes = cluster.site(0).proc.pipes
+        pid = pipes.new_anon_id()
+        cluster.call(0, pipes.open_role(0, pid, "r"))
+        cluster.call(0, pipes.open_role(0, pid, "w"))
+        cluster.call(0, pipes.open_role(0, pid, "w"))   # two writers
+        cluster.call(0, pipes.write(0, pid, b"x"))
+        cluster.call(0, pipes.close_role(0, pid, "w"))
+        assert cluster.call(0, pipes.read(0, pid, 10)) == b"x"
+        # One writer remains: a read would block, not EOF.  Close it:
+        cluster.call(0, pipes.close_role(0, pid, "w"))
+        assert cluster.call(0, pipes.read(0, pid, 10)) == b""
+
+    def test_write_without_readers_epipe(self, cluster):
+        pipes = cluster.site(0).proc.pipes
+        pid = pipes.new_anon_id()
+        cluster.call(0, pipes.open_role(0, pid, "w"))
+        with pytest.raises(EPIPE):
+            cluster.call(0, pipes.write(0, pid, b"x"))
+
+    def test_read_unknown_pipe_ebadf(self, cluster):
+        pipes = cluster.site(0).proc.pipes
+        with pytest.raises(EBADF):
+            cluster.call(0, pipes.read(0, ("anon", 0, 999), 1))
+
+    def test_buffer_freed_after_both_sides_close(self, cluster):
+        pipes = cluster.site(0).proc.pipes
+        pid = pipes.new_anon_id()
+        cluster.call(0, pipes.open_role(0, pid, "r"))
+        cluster.call(0, pipes.open_role(0, pid, "w"))
+        cluster.call(0, pipes.close_role(0, pid, "w"))
+        cluster.call(0, pipes.read(0, pid, 1))   # drain EOF
+        cluster.call(0, pipes.close_role(0, pid, "r"))
+        assert pid not in pipes.bufs
+
+
+class TestFdTable:
+    def test_create_grants_token_locally(self, cluster):
+        table = cluster.site(0).proc.fdtable
+        ofd = table.create("file", (0, 5), Mode.READ)
+        rep = table.replica(ofd)
+        assert rep.has_token
+        assert table.token_holder[ofd] == 0
+
+    def test_acquire_token_moves_offset(self, cluster):
+        t0 = cluster.site(0).proc.fdtable
+        t1 = cluster.site(1).proc.fdtable
+        ofd = t0.create("file", (0, 5), Mode.READ)
+        t0.replica(ofd).offset = 42
+        cluster.call(1, t1.attach({"ofd_id": ofd, "kind": "file",
+                                   "target": (0, 5), "mode": Mode.READ}))
+        offset = cluster.call(1, t1.acquire_token(ofd))
+        assert offset == 42
+        assert not t0.replica(ofd).has_token
+        assert t1.replica(ofd).has_token
+
+    def test_unknown_replica_ebadf(self, cluster):
+        with pytest.raises(EBADF):
+            cluster.site(0).proc.fdtable.replica((0, 999))
+
+    def test_dup_counts_references(self, cluster):
+        table = cluster.site(0).proc.fdtable
+        ofd = table.create("file", (0, 5), Mode.READ)
+        table.dup(ofd)
+        assert table.replica(ofd).local_refs == 2
+        assert cluster.call(0, table.deref(ofd)) is False
+        assert cluster.call(0, table.deref(ofd)) is True
+        with pytest.raises(EBADF):
+            table.replica(ofd)
+
+
+class TestDirectoryCodec:
+    def test_roundtrip_with_tombstones(self):
+        entries = [
+            DirEntry("alive", 7, FileType.REGULAR),
+            DirEntry("dir", 8, FileType.DIRECTORY),
+            DirEntry("dead", 9, FileType.REGULAR, deleted=True,
+                     dvv=VersionVector({1: 3, 2: 1})),
+        ]
+        decoded = decode_entries(encode_entries(entries))
+        assert {e.name for e in decoded} == {"alive", "dir", "dead"}
+        dead = next(e for e in decoded if e.name == "dead")
+        assert dead.deleted and dead.dvv == VersionVector({1: 3, 2: 1})
+        assert next(e for e in decoded if e.name == "dir").ftype is \
+            FileType.DIRECTORY
+
+    def test_decode_zero_padded(self):
+        data = encode_entries([DirEntry("x", 2, FileType.REGULAR)])
+        assert decode_entries(data + b"\x00" * 50) == decode_entries(data)
+
+    def test_view_resurrect_over_tombstone(self):
+        view = DirView([DirEntry("n", 3, FileType.REGULAR, deleted=True,
+                                 dvv=VersionVector())])
+        view.insert("n", 9, FileType.REGULAR)
+        assert view.lookup("n").ino == 9
+        assert len(view.entries) == 1
+
+    def test_names_sorted_and_dotless(self):
+        view = DirView([
+            DirEntry(".", 1, FileType.DIRECTORY),
+            DirEntry("..", 1, FileType.DIRECTORY),
+            DirEntry("zeta", 4, FileType.REGULAR),
+            DirEntry("alpha", 5, FileType.REGULAR),
+        ])
+        assert view.names() == ["alpha", "zeta"]
+        assert not view.is_empty()

@@ -1,0 +1,111 @@
+"""Large files, multi-page directories, and data-volume stress."""
+
+import pytest
+
+from repro import LocusCluster
+from repro.tools import fsck
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=2, seed=211)
+
+
+class TestLargeFiles:
+    def test_megabyte_roundtrip(self, cluster):
+        """1 MiB = 1024 pages through the whole stack."""
+        sh = cluster.shell(0)
+        data = bytes(i % 251 for i in range(1 << 20))
+        sh.write_file("/big", data)
+        assert sh.read_file("/big") == data
+        assert sh.stat("/big")["size"] == 1 << 20
+
+    def test_megabyte_remote_read(self, cluster):
+        sh1 = cluster.shell(1)
+        data = bytes((i * 7) % 251 for i in range(1 << 19))
+        sh1.write_file("/remote-big", data)
+        cluster.settle()
+        assert cluster.shell(0).read_file("/remote-big") == data
+
+    def test_large_file_delta_propagation(self, cluster):
+        """One dirty page of 512 propagates alone."""
+        from repro.net.stats import StatsWindow
+        psz = cluster.config.cost.page_size
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.write_file("/wide", b"0" * (512 * psz))
+        cluster.settle()
+        win = StatsWindow(cluster.stats)
+        fd = sh.open("/wide", "w")
+        sh.pwrite(fd, 300 * psz, b"dirty")
+        sh.close(fd)
+        cluster.settle()
+        assert win.close().sent.get("fs.pull_read", 0) == 1
+
+    def test_interleaved_sparse_regions(self, cluster):
+        psz = cluster.config.cost.page_size
+        sh = cluster.shell(0)
+        fd = sh.open("/sparse", "w", create=True)
+        for page in (0, 7, 63, 255):
+            sh.pwrite(fd, page * psz, f"mark{page}".encode())
+        sh.close(fd)
+        data = sh.read_file("/sparse")
+        for page in (0, 7, 63, 255):
+            mark = f"mark{page}".encode()
+            assert data[page * psz:page * psz + len(mark)] == mark
+        # Unwritten gaps read as zeros.
+        assert data[psz:2 * psz] == b"\x00" * psz
+
+    def test_shrinking_rewrite_frees_blocks(self, cluster):
+        psz = cluster.config.cost.page_size
+        sh = cluster.shell(0)
+        sh.write_file("/shrink", b"x" * (64 * psz))
+        pack = cluster.site(0).packs[0]
+        before = pack.blocks_in_use
+        sh.write_file("/shrink", b"tiny")
+        assert pack.blocks_in_use < before
+        assert sh.read_file("/shrink") == b"tiny"
+
+
+class TestMultiPageDirectories:
+    def test_three_hundred_entries(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.mkdir("/many")
+        for i in range(300):
+            sh.write_file(f"/many/entry{i:04}", b"e")
+        names = sh.readdir("/many")
+        assert len(names) == 300
+        cluster.settle()
+        # The replicated copy serves the same multi-page listing.
+        assert len(cluster.shell(1).readdir("/many")) == 300
+        assert fsck(cluster).clean
+
+    def test_multipage_directory_merges(self, cluster):
+        sh0, sh1 = cluster.shell(0), cluster.shell(1)
+        sh0.setcopies(2)
+        sh0.mkdir("/ledger")
+        for i in range(60):
+            sh0.write_file(f"/ledger/base{i:03}", b"b")
+        cluster.settle()
+        cluster.partition({0}, {1})
+        for i in range(25):
+            sh0.write_file(f"/ledger/left{i:03}", b"l")
+            sh1.write_file(f"/ledger/right{i:03}", b"r")
+        cluster.heal()
+        cluster.settle()
+        names = sh0.readdir("/ledger")
+        assert len(names) == 60 + 25 + 25
+        assert names == cluster.shell(1).readdir("/ledger")
+        assert fsck(cluster).clean
+
+    def test_unlink_half_then_compact_listing(self, cluster):
+        sh = cluster.shell(0)
+        sh.mkdir("/churn")
+        for i in range(100):
+            sh.write_file(f"/churn/f{i:03}", b"x")
+        for i in range(0, 100, 2):
+            sh.unlink(f"/churn/f{i:03}")
+        names = sh.readdir("/churn")
+        assert len(names) == 50
+        assert all(int(n[1:]) % 2 == 1 for n in names)

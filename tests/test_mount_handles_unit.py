@@ -1,0 +1,124 @@
+"""Unit tests: the replicated mount table and the incore handle state."""
+
+import pytest
+
+from repro.errors import EINVAL
+from repro.fs.handles import CssEntry, SsOpen
+from repro.fs.mount import FilegroupInfo, MountTable
+from repro.fs.types import Mode
+from repro.storage.pack import Pack, ROOT_INO
+from repro.storage.shadow import ShadowFile
+from repro.storage.version_vector import VersionVector
+
+
+def table():
+    t = MountTable()
+    t.add_filegroup(FilegroupInfo(gfs=0, name="root",
+                                  pack_sites=[0, 1, 2]))
+    t.set_css(0, 0)
+    return t
+
+
+class TestMountTable:
+    def test_pack_index_of_site(self):
+        info = FilegroupInfo(gfs=0, name="r", pack_sites=[3, 1, 4])
+        assert info.pack_index_of_site(1) == 1
+        assert info.pack_index_of_site(9) is None
+
+    def test_duplicate_filegroup_rejected(self):
+        t = table()
+        with pytest.raises(EINVAL):
+            t.add_filegroup(FilegroupInfo(gfs=0, name="dup",
+                                          pack_sites=[0]))
+
+    def test_unknown_filegroup_rejected(self):
+        t = table()
+        with pytest.raises(EINVAL):
+            t.pack_sites(42)
+        with pytest.raises(EINVAL):
+            t.css_for(42)
+
+    def test_mount_crossing(self):
+        t = table()
+        t.add_filegroup(FilegroupInfo(gfs=1, name="usr",
+                                      pack_sites=[2],
+                                      mounted_on=(0, 7)))
+        assert t.crossing((0, 7)) == (1, ROOT_INO)
+        assert t.crossing((0, 8)) is None
+        assert t.parent_of_root(1) == (0, 7)
+        assert t.parent_of_root(0) is None
+
+    def test_elect_css_prefers_pack_sites(self):
+        t = table()
+        assert t.elect_css(0, {1, 2}) == 1
+        assert t.elect_css(0, {2}) == 2
+        # No pack site in the partition: lowest member is the fallback.
+        assert t.elect_css(0, {7, 9}) == 7
+        assert t.elect_css(0, set()) is None
+
+    def test_clone_is_independent(self):
+        t = table()
+        copy = t.clone()
+        copy.set_css(0, 2)
+        assert t.css_for(0) == 0
+        assert copy.css_for(0) == 2
+        copy.add_filegroup(FilegroupInfo(gfs=5, name="x", pack_sites=[1]))
+        with pytest.raises(EINVAL):
+            t.filegroup(5)
+
+
+@pytest.fixture
+def ss_open():
+    pack = Pack(gfs=0, site_id=0, pack_index=0)
+    ino = pack.alloc_inode().ino
+    return SsOpen(gfile=(0, ino), shadow=ShadowFile(pack, ino))
+
+
+class TestSsOpen:
+    def test_user_counting(self, ss_open):
+        ss_open.add_user(1, Mode.READ)
+        ss_open.add_user(1, Mode.READ)
+        ss_open.add_user(2, Mode.UNSYNC)
+        assert ss_open.total_users == 3
+        ss_open.drop_user(1, Mode.READ)
+        assert ss_open.total_users == 2
+        ss_open.drop_user(1, Mode.READ)
+        ss_open.drop_user(2, Mode.UNSYNC)
+        assert ss_open.total_users == 0
+
+    def test_writer_tracking(self, ss_open):
+        ss_open.add_user(3, Mode.WRITE)
+        assert ss_open.writer == 3
+        ss_open.drop_user(3, Mode.WRITE)
+        assert ss_open.writer is None
+
+    def test_drop_site_clears_holders(self, ss_open):
+        ss_open.add_user(1, Mode.READ)
+        ss_open.page_holders[0] = {1, 2}
+        ss_open.drop_site(1)
+        assert 1 not in ss_open.page_holders[0]
+        assert ss_open.total_users == 0
+
+
+class TestCssEntry:
+    def entry(self):
+        return CssEntry(gfile=(0, 5), storage_sites=[0, 1],
+                        latest_vv=VersionVector({0: 1}))
+
+    def test_open_close_lifecycle(self):
+        e = self.entry()
+        e.note_open(2, Mode.READ, ss=1)
+        e.note_open(3, Mode.WRITE, ss=1)
+        assert e.in_use and e.writer == 3 and e.active_ss == 1
+        e.note_close(3, Mode.WRITE)
+        assert e.writer is None and e.in_use     # reader still there
+        e.note_close(2, Mode.READ)
+        assert not e.in_use and e.active_ss is None
+
+    def test_drop_site(self):
+        e = self.entry()
+        e.note_open(2, Mode.WRITE, ss=0)
+        e.lock_tx = 42
+        e.drop_site(2)
+        assert e.writer is None
+        assert e.lock_tx is None

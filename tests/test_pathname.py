@@ -1,0 +1,166 @@
+"""Pathname resolution: mounts, '..' crossings, hidden directories, and the
+multi-filegroup naming tree (paper sections 2.1, 2.3.4, 2.4.1)."""
+
+import pytest
+
+from repro import FileType, LocusCluster
+from repro.errors import EINVAL, ENOENT, ENOTDIR, EXDEV
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=3, seed=55)
+
+
+class TestMounts:
+    @pytest.fixture
+    def mounted(self, cluster):
+        sh = cluster.shell(0)
+        sh.mkdir("/usr")
+        gfs = cluster.add_filegroup("usr-fg", pack_sites=[1, 2],
+                                    mount_at="/usr")
+        cluster.settle()
+        return sh, gfs
+
+    def test_path_crosses_into_mounted_filegroup(self, cluster, mounted):
+        sh, gfs = mounted
+        sh.write_file("/usr/inside", b"in the child filegroup")
+        attrs = sh.stat("/usr/inside")
+        # The file's storage sites are the child filegroup's pack sites.
+        assert set(attrs["storage_sites"]) <= {1, 2}
+        assert sh.read_file("/usr/inside") == b"in the child filegroup"
+
+    def test_names_are_location_transparent_across_mounts(self, cluster,
+                                                          mounted):
+        sh, __ = mounted
+        sh.mkdir("/usr/lib")
+        sh.write_file("/usr/lib/libc", b"library")
+        assert cluster.shell(2).read_file("/usr/lib/libc") == b"library"
+
+    def test_dotdot_crosses_mount_point_upward(self, cluster, mounted):
+        sh, __ = mounted
+        sh.mkdir("/usr/sub")
+        sh.write_file("/marker", b"root level")
+        assert sh.read_file("/usr/sub/../../marker") == b"root level"
+        # '..' from the filegroup root itself lands in the parent tree.
+        assert "usr" in sh.readdir("/usr/..")
+
+    def test_separate_inode_spaces(self, cluster, mounted):
+        sh, gfs = mounted
+        sh.write_file("/usr/a", b"x")
+        sh.write_file("/rootfile", b"y")
+        usr_attrs = sh.stat("/usr/a")
+        root_attrs = sh.stat("/rootfile")
+        # Same low-level names may repeat across filegroups; the pair
+        # <filegroup, inode> is what is globally unique (section 2.2.2).
+        fs = cluster.site(0).fs
+        usr_gfile, __ = cluster.call(0, fs.resolve_gfile(None, "/usr/a"))
+        root_gfile, __ = cluster.call(0, fs.resolve_gfile(None,
+                                                          "/rootfile"))
+        assert usr_gfile[0] == gfs
+        assert root_gfile[0] == 0
+
+    def test_link_across_filegroups_exdev(self, cluster, mounted):
+        sh, __ = mounted
+        sh.write_file("/usr/file", b"x")
+        with pytest.raises(EXDEV):
+            sh.link("/usr/file", "/rootlink")
+        with pytest.raises(EXDEV):
+            sh.rename("/usr/file", "/moved")
+
+    def test_chdir_into_mounted_filegroup(self, cluster, mounted):
+        sh, __ = mounted
+        sh.mkdir("/usr/work")
+        sh.chdir("/usr/work")
+        sh.write_file("here", b"relative in child fg")
+        assert sh.read_file("/usr/work/here") == b"relative in child fg"
+
+    def test_mount_point_requires_directory(self, cluster):
+        sh = cluster.shell(0)
+        sh.write_file("/notadir", b"x")
+        with pytest.raises(ENOTDIR):
+            cluster.add_filegroup("bad", pack_sites=[1], mount_at="/notadir")
+
+    def test_css_per_filegroup(self, cluster, mounted):
+        __, gfs = mounted
+        mount = cluster.site(0).fs.mount
+        assert mount.css_for(0) == 0          # root fg: lowest pack site
+        assert mount.css_for(gfs) == 1        # child fg packs at {1,2}
+
+    def test_partition_isolates_child_filegroup(self, cluster, mounted):
+        sh, gfs = mounted
+        sh.write_file("/usr/data", b"both packs")
+        cluster.settle()
+        cluster.partition({0}, {1, 2})
+        # Site 0 holds no pack of the child fg: unreachable.
+        with pytest.raises(ENOENT):
+            sh.read_file("/usr/data")
+        # Sites 1-2 still serve it, with their own CSS.
+        assert cluster.shell(1).read_file("/usr/data") == b"both packs"
+        cluster.heal()
+        assert sh.read_file("/usr/data") == b"both packs"
+
+
+class TestHiddenDirectories:
+    def test_context_list_tried_in_order(self, cluster):
+        sh = cluster.shell(0)
+        sh.mkdir("/cmd", hidden=True)
+        sh.set_hidden_visible(True)
+        sh.write_file("/cmd/fallback", b"generic build")
+        sh.set_hidden_visible(False)
+        sh.set_hidden_context(["vax780", "fallback"])
+        assert sh.read_file("/cmd") == b"generic build"
+
+    def test_no_context_match_is_enoent(self, cluster):
+        sh = cluster.shell(0)
+        sh.mkdir("/cmd", hidden=True)
+        sh.set_hidden_context(["nonexistent"])
+        with pytest.raises(ENOENT):
+            sh.read_file("/cmd")
+
+    def test_hidden_dir_in_middle_of_path(self, cluster):
+        """The pathname continues after the context substitution."""
+        sh = cluster.shell(0)
+        sh.mkdir("/env", hidden=True)
+        sh.set_hidden_visible(True)
+        sh.mkdir("/env/vax")
+        sh.write_file("/env/vax/config", b"vax config")
+        sh.set_hidden_visible(False)
+        sh.set_hidden_context(["vax"])
+        assert sh.read_file("/env/config") == b"vax config"
+
+    def test_stat_of_hidden_resolves_context_entry(self, cluster):
+        sh = cluster.shell(0)
+        sh.mkdir("/who", hidden=True)
+        sh.set_hidden_visible(True)
+        sh.write_file("/who/vax", b"12345")
+        sh.set_hidden_visible(False)
+        assert sh.stat("/who")["size"] == 5  # the vax entry's size
+
+
+class TestPathEdgeCases:
+    def test_empty_path_rejected(self, cluster):
+        sh = cluster.shell(0)
+        with pytest.raises(EINVAL):
+            sh.stat("")
+
+    def test_trailing_slashes_ignored(self, cluster):
+        sh = cluster.shell(0)
+        sh.mkdir("/d")
+        assert sh.readdir("/d/") == []
+        assert sh.readdir("//d//") == []
+
+    def test_long_name_rejected(self, cluster):
+        sh = cluster.shell(0)
+        from repro.errors import ENAMETOOLONG
+        with pytest.raises(ENAMETOOLONG):
+            sh.write_file("/" + "x" * 300, b"data")
+
+    def test_deep_nesting(self, cluster):
+        sh = cluster.shell(0)
+        path = ""
+        for i in range(12):
+            path += f"/n{i}"
+            sh.mkdir(path)
+        sh.write_file(path + "/leaf", b"deep")
+        assert sh.read_file(path + "/leaf") == b"deep"

@@ -1,0 +1,117 @@
+"""Reconfiguration edge cases: watchdogs, arbitration, repeated churn
+(paper sections 5.4, 5.5, 5.7)."""
+
+import pytest
+
+from repro import LocusCluster
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=5, seed=101)
+
+
+class TestProtocolRobustness:
+    def test_active_partition_site_dies_midway(self, cluster):
+        """Section 5.7: passive sites periodically check the active site
+        and restart the protocol if it died."""
+        # Break {4} off; while sites converge, kill the lowest survivor
+        # (the likely active site) before protocols settle.
+        cluster.net.set_partitions([{0, 1, 2, 3}, {4}])
+        cluster.sim.run(until=cluster.sim.now + 2.0)   # protocols starting
+        cluster.site(0).crash()
+        cluster.settle(max_time=5000)
+        for s in (1, 2, 3):
+            assert cluster.site(s).topology.partition_set == {1, 2, 3}, \
+                cluster.site(s).topology.partition_set
+
+    def test_merge_initiator_dies_midway(self, cluster):
+        cluster.partition({0, 1}, {2, 3, 4})
+        cluster.net.heal()
+        cluster.site(4).topology.request_merge()
+        cluster.sim.run(until=cluster.sim.now + 2.0)
+        cluster.site(4).crash()
+        cluster.settle(max_time=5000)
+        # The network did not wedge; someone can still merge the rest.
+        cluster.site(0).topology.request_merge()
+        cluster.settle()
+        for s in (0, 1, 2, 3):
+            assert cluster.site(s).topology.partition_set == {0, 1, 2, 3}
+
+    def test_simultaneous_merge_from_every_site(self, cluster):
+        cluster.partition({0}, {1}, {2}, {3}, {4})
+        cluster.net.heal()
+        for s in range(5):
+            cluster.site(s).topology.request_merge()
+        cluster.settle()
+        for s in range(5):
+            assert cluster.site(s).topology.partition_set == set(range(5))
+
+    def test_rapid_partition_heal_cycles(self, cluster):
+        for round_no in range(4):
+            cluster.partition({0, 1, 2}, {3, 4})
+            cluster.heal()
+        for s in range(5):
+            assert cluster.site(s).topology.partition_set == set(range(5))
+
+    def test_partition_during_merge(self, cluster):
+        """A new failure while merging: the system converges to the real
+        physical topology, not a stale announcement."""
+        cluster.partition({0, 1, 2}, {3, 4})
+        cluster.net.heal()
+        cluster.site(0).topology.request_merge()
+        cluster.sim.run(until=cluster.sim.now + 3.0)
+        cluster.net.set_partitions([{0, 1, 2, 3}, {4}])   # break again
+        cluster.settle(max_time=20000)
+        # Whatever interleaving happened, no partition set contains 4
+        # alongside the others once things settle.
+        for s in (0, 1, 2, 3):
+            pset = cluster.site(s).topology.partition_set
+            assert 4 not in pset or pset == {4}
+
+    def test_filesystem_works_after_every_epoch(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(5)
+        sh.write_file("/epochs", b"e0")
+        cluster.settle()
+        for round_no in range(3):
+            cluster.partition({0, 1}, {2, 3, 4})
+            sh.write_file("/epochs", f"left e{round_no}".encode())
+            cluster.heal()
+            cluster.settle()
+            assert cluster.shell(4).read_file("/epochs") == \
+                f"left e{round_no}".encode()
+
+
+class TestCssFallback:
+    def test_css_without_local_pack(self):
+        """A partition whose only members hold no pack of a filegroup still
+        elects a CSS (the CSS need not store anything, section 2.3.1);
+        operations fail with unavailability, not crashes."""
+        cluster = LocusCluster(n_sites=4, seed=102, root_pack_sites=[0, 1])
+        sh3 = cluster.shell(3)
+        cluster.partition({0, 1}, {2, 3})
+        assert cluster.site(3).fs.mount.css_for(0) in (2, 3)
+        from repro.errors import FsError, NetworkError
+        with pytest.raises((FsError, NetworkError)):
+            sh3.read_file("/anything")
+        cluster.heal()
+        # Service restored after merge.
+        sh0 = cluster.shell(0)
+        sh0.write_file("/back", b"alive")
+        assert sh3.read_file("/back") == b"alive"
+
+
+class TestEpochMonotonicity:
+    def test_epochs_never_regress(self, cluster):
+        seen = {s: [cluster.site(s).topology.epoch] for s in range(5)}
+        for __ in range(3):
+            cluster.partition({0, 1, 2}, {3, 4})
+            for s in range(5):
+                seen[s].append(cluster.site(s).topology.epoch)
+            cluster.heal()
+            for s in range(5):
+                seen[s].append(cluster.site(s).topology.epoch)
+        for s, history in seen.items():
+            assert history == sorted(history), f"site {s}: {history}"
+            assert history[-1] > history[0]

@@ -1,0 +1,165 @@
+"""File replication and update propagation (paper sections 2.2, 2.3.6)."""
+
+import pytest
+
+from repro import LocusCluster
+from repro.errors import ENOENT
+from repro.net.stats import StatsWindow
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=4, seed=11)
+
+
+class TestReplicationFactor:
+    def test_default_single_copy_stored_locally(self, cluster):
+        sh = cluster.shell(1)
+        sh.write_file("/one", b"x")
+        assert sh.stat("/one")["storage_sites"] == [1]
+
+    def test_setcopies_controls_replication(self, cluster):
+        sh = cluster.shell(1)
+        sh.setcopies(3)
+        sh.write_file("/three", b"x")
+        sites = sh.stat("/three")["storage_sites"]
+        assert len(sites) == 3
+        assert sites[0] == 1            # local site first (section 2.3.7 b)
+
+    def test_replication_capped_by_parent_directory(self, cluster):
+        """Initial factor = min(requested, parent's factor); storage sites
+        must store the parent directory (section 2.3.7 a)."""
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.mkdir("/sub")                # /sub stored at 2 sites
+        parent_sites = set(sh.stat("/sub")["storage_sites"])
+        sh.setcopies(4)
+        sh.write_file("/sub/f", b"x")
+        child_sites = set(sh.stat("/sub/f")["storage_sites"])
+        assert len(child_sites) == 2
+        assert child_sites <= parent_sites
+
+    def test_each_copy_same_inode_number(self, cluster):
+        """All copies share the <filegroup, inode> low-level name."""
+        sh = cluster.shell(0)
+        sh.setcopies(4)
+        sh.write_file("/rep", b"x")
+        cluster.settle()
+        ino = sh.stat("/rep")["ino"]
+        for s in sh.stat("/rep")["storage_sites"]:
+            pack = cluster.site(s).packs[0]
+            assert pack.stores(ino)
+
+
+class TestPropagation:
+    def test_update_propagates_to_all_copies(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(4)
+        sh.write_file("/p", b"v1")
+        cluster.settle()
+        sh.write_file("/p", b"v2-new-content")
+        cluster.settle()
+        ino = sh.stat("/p")["ino"]
+        versions = set()
+        for s in range(4):
+            inode = cluster.site(s).packs[0].get_inode(ino)
+            versions.add(inode.version)
+            assert inode.size == len(b"v2-new-content")
+        assert len(versions) == 1       # all copies converged
+
+    def test_propagation_is_pull_based(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/pull", b"a" * 100)
+        cluster.settle()
+        win = StatsWindow(cluster.stats)
+        sh.write_file("/pull", b"b" * 100)
+        cluster.settle()
+        snap = win.close()
+        # Other storage sites pulled the pages with read-style requests.
+        assert snap.sent.get("fs.pull_read", 0) >= 2
+
+    def test_delta_propagation_pulls_only_changed_pages(self, cluster):
+        psz = cluster.config.cost.page_size
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.write_file("/delta", b"x" * (8 * psz))
+        cluster.settle()
+        win = StatsWindow(cluster.stats)
+        fd = sh.open("/delta", "w")
+        sh.pwrite(fd, 0, b"y" * 10)     # touch one page of eight
+        sh.close(fd)
+        cluster.settle()
+        snap = win.close()
+        assert snap.sent.get("fs.pull_read", 0) == 1
+
+    def test_reads_served_by_nearest_copy_after_propagation(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(4)
+        sh.write_file("/near", b"replicated")
+        cluster.settle()
+        sh3 = cluster.shell(3)
+        win = StatsWindow(cluster.stats)
+        assert sh3.read_file("/near") == b"replicated"
+        snap = win.close()
+        # Site 3 stores a current copy: no page ever crosses the network.
+        assert snap.sent.get("fs.read_page", 0) == 0
+
+    def test_add_replica_pulls_content(self, cluster):
+        sh = cluster.shell(0)
+        sh.write_file("/grow", b"growing")
+        cluster.settle()
+        assert sh.stat("/grow")["storage_sites"] == [0]
+        sh.add_replica("/grow", 2)
+        cluster.settle()
+        assert cluster.site(2).packs[0].stores(sh.stat("/grow")["ino"])
+        assert cluster.shell(2).read_file("/grow") == b"growing"
+
+    def test_drop_replica_releases_storage(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.write_file("/shrink", b"shrinking")
+        cluster.settle()
+        victim = sh.stat("/shrink")["storage_sites"][1]
+        sh.drop_replica("/shrink", victim)
+        cluster.settle()
+        ino = sh.stat("/shrink")["ino"]
+        assert not cluster.site(victim).packs[0].stores(ino)
+        assert sh.read_file("/shrink") == b"shrinking"
+
+
+class TestAvailability:
+    def test_read_survives_storage_site_failure(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/avail", b"still here")
+        cluster.settle()
+        sites = sh.stat("/avail")["storage_sites"]
+        other = [s for s in sites if s != 0][0]
+        cluster.fail_site(other)
+        assert sh.read_file("/avail") == b"still here"
+
+    def test_single_copy_unavailable_after_failure(self, cluster):
+        sh0 = cluster.shell(0)
+        sh1 = cluster.shell(1)
+        sh1.write_file("/frag", b"only at 1")
+        cluster.settle()
+        cluster.fail_site(1)
+        with pytest.raises(ENOENT):
+            sh0.read_file("/frag")
+
+    def test_update_during_failure_propagates_after_restart(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.write_file("/catchup", b"v1")
+        cluster.settle()
+        other = [s for s in sh.stat("/catchup")["storage_sites"]
+                 if s != 0][0]
+        cluster.fail_site(other)
+        sh.write_file("/catchup", b"v2 while partner down")
+        cluster.restart_site(other)
+        cluster.settle()
+        ino = sh.stat("/catchup")["ino"]
+        inode = cluster.site(other).packs[0].get_inode(ino)
+        assert inode.size == len(b"v2 while partner down")
+        assert inode.version == sh.stat("/catchup")["version"]

@@ -1,0 +1,94 @@
+"""Execution-site scheduling policies (sections 3.1 / 6)."""
+
+import pytest
+
+from repro import LocusCluster
+from repro.errors import EINVAL
+
+
+@pytest.fixture
+def cluster():
+    c = LocusCluster(n_sites=4, seed=171)
+
+    def idle(api):
+        yield 1000.0
+        return 0
+
+    c.register_program("idle", idle)
+    return c
+
+
+class TestPolicies:
+    def test_local_policy_empty_advice(self, cluster):
+        assert cluster.scheduler.advice("local") == []
+
+    def test_round_robin_rotates(self, cluster):
+        first = cluster.scheduler.advice("round_robin")[0]
+        second = cluster.scheduler.advice("round_robin")[0]
+        assert first != second
+
+    def test_least_loaded_prefers_idle_sites(self, cluster):
+        sh = cluster.shell(0)
+        for __ in range(3):
+            sh.fork(lambda api: (yield 500.0), dest=1)
+        order = cluster.scheduler.advice("least_loaded")
+        assert order.index(1) > order.index(2)
+        assert order.index(1) > order.index(3)
+
+    def test_down_sites_excluded(self, cluster):
+        cluster.fail_site(2)
+        assert 2 not in cluster.scheduler.advice("least_loaded")
+        assert 2 not in cluster.scheduler.advice("round_robin")
+
+    def test_cpu_filter_for_heterogeneous_nets(self, cluster):
+        cluster.set_cpu_type(1, "pdp11")
+        cluster.set_cpu_type(3, "pdp11")
+        pdp_sites = cluster.scheduler.advice("least_loaded", cpu="pdp11")
+        assert set(pdp_sites) == {1, 3}
+
+    def test_unknown_policy_rejected(self, cluster):
+        with pytest.raises(EINVAL):
+            cluster.scheduler.advice("wishful_thinking")
+
+    def test_custom_policy(self, cluster):
+        cluster.scheduler.register_policy(
+            "reverse", lambda sched: sorted(
+                (s.site_id for s in cluster.sites if s.up), reverse=True))
+        assert cluster.scheduler.advice("reverse")[0] == 3
+
+
+class TestPlacement:
+    def test_place_sets_advice_and_fork_follows(self, cluster):
+        sh = cluster.shell(0)
+        where = []
+
+        def child(api):
+            where.append(api.site.site_id)
+            return 0
+            yield  # pragma: no cover
+
+        # Load up sites 0-2 so the balancer points at 3.
+        busy = cluster.shell(1)
+        for dest in (0, 1, 2):
+            busy.fork(lambda api: (yield 800.0), dest=dest)
+        sites = cluster.scheduler.place(sh, "least_loaded")
+        assert sites[0] == 3
+        sh.fork(child)            # advice decides, no explicit dest
+        sh.wait()
+        assert where == [3]
+
+    def test_balanced_fanout_touches_all_sites(self, cluster):
+        sh = cluster.shell(0)
+        placements = []
+
+        def worker(api):
+            placements.append(api.site.site_id)
+            yield 400.0
+            return 0
+
+        for __ in range(8):
+            cluster.scheduler.place(sh, "least_loaded")
+            sh.fork(worker)
+        for __ in range(8):
+            sh.wait()
+        assert set(placements) == {0, 1, 2, 3}

@@ -1,0 +1,155 @@
+"""Property-based testing of the shadow-page store: random sequences of
+writes / truncates / commits / aborts against a plain reference buffer.
+
+The invariant under test is the paper's central storage claim: "one is
+always left with either the original file or a completely changed file but
+never with a partially made change" — i.e. the committed state always
+equals the reference state as of the last commit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.pack import Pack
+from repro.storage.shadow import ShadowFile
+
+PAGE = 64  # small pages keep the state space dense
+
+
+def read_committed(pack, ino):
+    inode = pack.get_inode(ino)
+    out = bytearray()
+    for blockno in inode.pages:
+        data = pack.read_block(blockno) if blockno is not None else b""
+        out += data.ljust(PAGE, b"\x00")
+    return bytes(out[:inode.size])
+
+
+class Reference:
+    """What the file *should* contain."""
+
+    def __init__(self):
+        self.committed = b""
+        self.staged = b""
+
+    def write(self, page, data):
+        buf = bytearray(self.staged.ljust((page + 1) * PAGE, b"\x00"))
+        buf[page * PAGE:page * PAGE + len(data)] = data
+        self.staged = bytes(buf)
+
+    def set_size(self, size):
+        self.staged = self.staged[:size].ljust(size, b"\x00")
+
+    def truncate(self):
+        self.staged = b""
+
+    def commit(self):
+        self.committed = self.staged
+
+    def abort(self):
+        self.staged = self.committed
+
+
+op_st = st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 5),
+              st.binary(min_size=1, max_size=PAGE)),
+    st.tuples(st.just("truncate")),
+    st.tuples(st.just("commit")),
+    st.tuples(st.just("abort")),
+)
+
+
+@given(st.lists(op_st, max_size=30))
+@settings(max_examples=300, deadline=None)
+def test_committed_state_always_matches_reference(ops):
+    pack = Pack(gfs=0, site_id=0, pack_index=0, n_blocks=4096)
+    ino = pack.alloc_inode().ino
+    shadow = ShadowFile(pack, ino)
+    ref = Reference()
+
+    for op in ops:
+        if op[0] == "write":
+            __, page, data = op
+            old = shadow.read_page(page).ljust(PAGE, b"\x00")
+            buf = bytearray(old)
+            buf[:len(data)] = data      # read-modify-splice, like the FS
+            shadow.write_page(page, bytes(buf))
+            ref.write(page, data)
+            new_size = max(shadow.incore.size, page * PAGE + len(data))
+            shadow.set_size(new_size)
+            ref.set_size(new_size)
+        elif op[0] == "truncate":
+            shadow.truncate()
+            ref.truncate()
+        elif op[0] == "commit":
+            shadow.commit()
+            ref.commit()
+        elif op[0] == "abort":
+            shadow.abort()
+            ref.abort()
+        # Invariant: disk always shows the last committed state only.
+        assert read_committed(pack, ino) == ref.committed
+
+
+@given(st.lists(op_st, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_no_block_leaks(ops):
+    """Every allocated block is either reachable from the committed inode
+    or part of the live staged set; nothing leaks across commits/aborts."""
+    pack = Pack(gfs=0, site_id=0, pack_index=0, n_blocks=4096)
+    ino = pack.alloc_inode().ino
+    shadow = ShadowFile(pack, ino)
+    for op in ops:
+        if op[0] == "write":
+            __, page, data = op
+            old = shadow.read_page(page).ljust(PAGE, b"\x00")
+            buf = bytearray(old)
+            buf[:len(data)] = data
+            shadow.write_page(page, bytes(buf))
+            shadow.set_size(max(shadow.incore.size,
+                                page * PAGE + len(data)))
+        elif op[0] == "truncate":
+            shadow.truncate()
+        elif op[0] == "commit":
+            shadow.commit()
+        elif op[0] == "abort":
+            shadow.abort()
+    shadow.abort()   # drop any staged tail
+    committed_blocks = {b for b in pack.get_inode(ino).pages
+                        if b is not None}
+    assert pack.blocks_in_use == len(committed_blocks)
+
+
+@given(st.lists(op_st, max_size=25), st.integers(0, 24))
+@settings(max_examples=200, deadline=None)
+def test_crash_at_any_point_preserves_last_commit(ops, crash_at):
+    """Dropping the incore state anywhere between commits (a crash) leaves
+    exactly the last committed image."""
+    pack = Pack(gfs=0, site_id=0, pack_index=0, n_blocks=4096)
+    ino = pack.alloc_inode().ino
+    shadow = ShadowFile(pack, ino)
+    ref = Reference()
+    for i, op in enumerate(ops):
+        if i == crash_at:
+            break   # crash: incore vanishes, disk untouched
+        if op[0] == "write":
+            __, page, data = op
+            old = shadow.read_page(page).ljust(PAGE, b"\x00")
+            buf = bytearray(old)
+            buf[:len(data)] = data
+            shadow.write_page(page, bytes(buf))
+            ref.write(page, data)
+            size = max(shadow.incore.size, page * PAGE + len(data))
+            shadow.set_size(size)
+            ref.set_size(size)
+        elif op[0] == "truncate":
+            shadow.truncate()
+            ref.truncate()
+        elif op[0] == "commit":
+            shadow.commit()
+            ref.commit()
+        elif op[0] == "abort":
+            shadow.abort()
+            ref.abort()
+    assert read_committed(pack, ino) == ref.committed

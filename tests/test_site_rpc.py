@@ -1,0 +1,133 @@
+"""The Site kernel's RPC layer: dispatch, errors, timeouts, crash
+semantics (the Figure 1 machinery itself)."""
+
+import pytest
+
+from repro import LocusCluster
+from repro.errors import (CircuitClosed, SimTimeout, SiteDown, Unreachable)
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=3, seed=61)
+
+
+def install_echo(site):
+    def h_echo(src, p):
+        yield from site.cpu(1.0)
+        return {"echo": p["value"], "from": src}
+
+    def h_boom(src, p):
+        raise ValueError(p.get("detail", "boom"))
+        yield  # pragma: no cover
+
+    def h_slow(src, p):
+        yield p["delay"]
+        return "finally"
+
+    site.register_handler("test.echo", h_echo)
+    site.register_handler("test.boom", h_boom)
+    site.register_handler("test.slow", h_slow)
+
+
+@pytest.fixture
+def wired(cluster):
+    for s in cluster.sites:
+        install_echo(s)
+    return cluster
+
+
+class TestRpc:
+    def test_remote_roundtrip(self, wired):
+        out = wired.call(0, wired.site(0).rpc(2, "test.echo", {"value": 9}))
+        assert out == {"echo": 9, "from": 0}
+
+    def test_local_collapse_no_messages(self, wired):
+        from repro.net.stats import StatsWindow
+        win = StatsWindow(wired.stats)
+        out = wired.call(1, wired.site(1).rpc(1, "test.echo", {"value": 5}))
+        assert out["echo"] == 5
+        assert win.close().total_messages == 0
+
+    def test_remote_exception_reraised_at_caller(self, wired):
+        with pytest.raises(ValueError, match="kapow"):
+            wired.call(0, wired.site(0).rpc(2, "test.boom",
+                                            {"detail": "kapow"}))
+
+    def test_missing_handler_is_error(self, wired):
+        with pytest.raises(ValueError, match="no handler"):
+            wired.call(0, wired.site(0).rpc(1, "test.nothing", {}))
+
+    def test_timeout_on_slow_handler(self, wired):
+        with pytest.raises(SimTimeout):
+            wired.call(0, wired.site(0).rpc(1, "test.slow", {"delay": 500.0},
+                                            timeout=50.0))
+
+    def test_unreachable_raises_immediately(self, wired):
+        wired.net.set_partitions([{0}, {1, 2}])
+        with pytest.raises(Unreachable):
+            wired.call(0, wired.site(0).rpc(1, "test.echo", {"value": 1}))
+
+    def test_pending_rpc_fails_when_peer_partitioned_away(self, wired):
+        """Closing the circuit aborts ongoing activity (section 5.1)."""
+        results = []
+
+        def caller():
+            try:
+                yield from wired.site(0).rpc(2, "test.slow", {"delay": 300.0})
+            except (CircuitClosed, SiteDown) as exc:
+                results.append(type(exc).__name__)
+
+        task = wired.site(0).spawn(caller())
+        wired.sim.run(until=wired.sim.now + 10)
+        wired.net.set_partitions([{0, 1}, {2}])
+        wired.settle()
+        assert results == ["CircuitClosed"]
+
+    def test_oneway_local_dispatch(self, wired):
+        seen = []
+
+        def h_note(src, p):
+            seen.append((src, p["value"]))
+            return None
+            yield  # pragma: no cover
+
+        wired.site(1).register_handler("test.note", h_note)
+        wired.call(1, wired.site(1).oneway(1, "test.note", {"value": 3}))
+        assert seen == [(1, 3)]
+
+    def test_duplicate_handler_registration_rejected(self, wired):
+        with pytest.raises(ValueError):
+            install_echo(wired.site(0))
+
+
+class TestCrashSemantics:
+    def test_crash_cancels_in_flight_server_work(self, wired):
+        """A served request dies with the site; the requester sees the
+        failure, not a hung call."""
+        outcome = []
+
+        def caller():
+            try:
+                out = yield from wired.site(0).rpc(2, "test.slow",
+                                                   {"delay": 400.0})
+                outcome.append(out)
+            except (CircuitClosed, SiteDown) as exc:
+                outcome.append(type(exc).__name__)
+
+        wired.site(0).spawn(caller())
+        wired.sim.run(until=wired.sim.now + 20)
+        wired.fail_site(2)
+        wired.settle()
+        assert outcome == ["CircuitClosed"]
+
+    def test_messages_to_down_site_dropped_silently_for_oneway(self, wired):
+        wired.fail_site(2)
+        wired.call(0, wired.site(0).oneway_quiet(2, "test.echo",
+                                                 {"value": 1}))
+        # No exception: best-effort notify swallows unreachability.
+
+    def test_cpu_accounting_accumulates(self, wired):
+        before = wired.site(2).cpu_used
+        wired.call(0, wired.site(0).rpc(2, "test.echo", {"value": 1}))
+        assert wired.site(2).cpu_used > before

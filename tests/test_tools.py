@@ -1,0 +1,127 @@
+"""The fsck consistency checker and the cluster inspector."""
+
+import pytest
+
+from repro import LocusCluster
+from repro.tools import cluster_report, fsck
+from repro.tools.inspect import format_report
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=3, seed=88)
+
+
+class TestFsck:
+    def test_clean_after_normal_workload(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.mkdir("/a")
+        sh.write_file("/a/one", b"1")
+        sh.write_file("/a/two", b"2")
+        sh.link("/a/one", "/a/alias")
+        sh.unlink("/a/two")
+        cluster.settle()
+        report = fsck(cluster)
+        assert report.clean, report.summary()
+        assert report.inodes_checked >= 3
+
+    def test_clean_after_partition_merge(self, cluster):
+        sh0, sh2 = cluster.shell(0), cluster.shell(2)
+        sh0.setcopies(3)
+        sh0.write_file("/f", b"base")
+        cluster.settle()
+        cluster.partition({0, 1}, {2})
+        sh0.write_file("/left", b"L")
+        sh2.write_file("/right", b"R")
+        cluster.heal()
+        cluster.settle()
+        report = fsck(cluster)
+        assert report.clean, report.summary()
+
+    def test_detects_unflagged_version_conflict(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.write_file("/x", b"x")
+        cluster.settle()
+        ino = sh.stat("/x")["ino"]
+        # Corrupt by hand: bump one copy's vector without propagation.
+        inode = cluster.site(1).packs[0].get_inode(ino)
+        inode.version = inode.version.bump(1)
+        inode0 = cluster.site(0).packs[0].get_inode(ino)
+        inode0.version = inode0.version.bump(0)
+        report = fsck(cluster)
+        assert (0, ino) in report.version_conflicts
+        assert (0, ino) in report.unflagged_conflicts
+        assert not report.clean
+
+    def test_detects_dangling_entry(self, cluster):
+        sh = cluster.shell(0)
+        sh.write_file("/victim", b"x")
+        ino = sh.stat("/victim")["ino"]
+        # Vandalize: remove the inode but leave the directory entry.
+        for s in range(3):
+            pack = cluster.site(s).packs.get(0)
+            if pack is not None:
+                pack.inodes.pop(ino, None)
+        report = fsck(cluster)
+        assert any(name == "victim" for __, name, __ in
+                   report.dangling_entries)
+
+    def test_detects_orphan_inode(self, cluster):
+        sh = cluster.shell(0)
+        sh.write_file("/orphan-to-be", b"x")
+        ino = sh.stat("/orphan-to-be")["ino"]
+        # Vandalize: scrub the directory entry, keep the inode.
+        from repro.fs.directory import decode_entries, encode_entries
+        pack = cluster.site(0).packs[0]
+        root = pack.get_inode(1)
+        entries = [e for e in decode_entries(
+            b"".join(pack.read_block(b) for b in root.pages)[:root.size])
+            if e.name != "orphan-to-be"]
+        data = encode_entries(entries)
+        pack.write_block(root.pages[0], data)
+        root.size = len(data)
+        cluster.site(0).cache.clear()
+        report = fsck(cluster, gfs_list=[0])
+        assert (0, ino) in report.orphan_inodes
+
+    def test_detects_nlink_mismatch(self, cluster):
+        sh = cluster.shell(0)
+        sh.write_file("/linked", b"x")
+        sh.link("/linked", "/alias")
+        ino = sh.stat("/linked")["ino"]
+        cluster.site(0).packs[0].get_inode(ino).nlink = 7
+        report = fsck(cluster)
+        assert ((0, ino), 7, 2) in report.nlink_errors
+
+    def test_summary_renders(self, cluster):
+        text = fsck(cluster).summary()
+        assert "verdict" in text and "CLEAN" in text
+
+    def test_skips_down_sites(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/f", b"x")
+        cluster.settle()
+        cluster.fail_site(2)
+        report = fsck(cluster)
+        assert report.clean, report.summary()
+
+
+class TestInspect:
+    def test_cluster_report_fields(self, cluster):
+        sh = cluster.shell(1)
+        sh.write_file("/probe", b"x")
+        report = cluster_report(cluster)
+        assert len(report["sites"]) == 3
+        assert report["network"]["messages"] >= 0
+        site1 = report["sites"][1]
+        assert site1["partition"] == [0, 1, 2]
+        assert 0 in site1["packs"]
+        assert site1["processes"]      # the shell's process
+
+    def test_format_report_is_readable(self, cluster):
+        text = format_report(cluster_report(cluster))
+        assert "site 0" in text and "site 2" in text
+        assert "partition=[0, 1, 2]" in text

@@ -1,0 +1,195 @@
+"""Nested transactions ([MEUL 83]): atomicity across files, nesting,
+partition aborts."""
+
+import pytest
+
+from repro import LocusCluster
+from repro.errors import EBUSY, EINVAL, TxAborted
+from repro.tx.manager import TxState
+
+
+@pytest.fixture
+def cluster():
+    return LocusCluster(n_sites=3, seed=41)
+
+
+@pytest.fixture
+def sh(cluster):
+    return cluster.shell(0)
+
+
+def gfile_of(sh, path):
+    return (0, sh.stat(path)["ino"])
+
+
+class TestTopLevel:
+    def test_commit_applies_all_files(self, cluster, sh):
+        sh.write_file("/a", b"a0")
+        sh.write_file("/b", b"b0")
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/a"), 0, b"a1"))
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/b"), 0, b"b1"))
+        # Uncommitted: other opens are locked out, disk still old.
+        cluster.call(0, tm.commit(tx))
+        assert sh.read_file("/a") == b"a1"
+        assert sh.read_file("/b") == b"b1"
+
+    def test_abort_reverts_all_files(self, cluster, sh):
+        sh.write_file("/a", b"a0")
+        sh.write_file("/b", b"b0")
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/a"), 0, b"XX"))
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/b"), 0, b"YY"))
+        cluster.call(0, tm.abort(tx))
+        assert sh.read_file("/a") == b"a0"
+        assert sh.read_file("/b") == b"b0"
+
+    def test_transaction_spans_remote_storage_sites(self, cluster, sh):
+        sh1, sh2 = cluster.shell(1), cluster.shell(2)
+        sh1.write_file("/at1", b"one")
+        sh2.write_file("/at2", b"two")
+        cluster.settle()
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/at1"), 0, b"ONE"))
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/at2"), 0, b"TWO"))
+        cluster.call(0, tm.commit(tx))
+        assert sh1.read_file("/at1") == b"ONE"
+        assert sh2.read_file("/at2") == b"TWO"
+
+    def test_locks_exclude_other_writers_until_commit(self, cluster, sh):
+        sh.write_file("/locked", b"x")
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/locked"), 0, b"y"))
+        sh1 = cluster.shell(1)
+        with pytest.raises(EBUSY):
+            sh1.open("/locked", "w")
+        cluster.call(0, tm.commit(tx))
+        fd = sh1.open("/locked", "w")
+        sh1.close(fd)
+
+    def test_read_own_writes(self, cluster, sh):
+        sh.write_file("/rw", b"before")
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        g = gfile_of(sh, "/rw")
+        cluster.call(0, tm.write(tx, g, 0, b"after!"))
+        assert cluster.call(0, tm.read(tx, g, 0, 6)) == b"after!"
+        cluster.call(0, tm.abort(tx))
+
+    def test_operations_after_abort_raise(self, cluster, sh):
+        sh.write_file("/dead", b"x")
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        cluster.call(0, tm.abort(tx))
+        with pytest.raises(TxAborted):
+            cluster.call(0, tm.write(tx, gfile_of(sh, "/dead"), 0, b"y"))
+
+
+class TestNesting:
+    def test_subtransaction_commit_folds_into_parent(self, cluster, sh):
+        sh.write_file("/n", b"base")
+        tm = cluster.site(0).tx
+        parent = tm.begin()
+        child = tm.begin(parent=parent)
+        cluster.call(0, tm.write(child, gfile_of(sh, "/n"), 0, b"chld"))
+        cluster.call(0, tm.commit(child))
+        # Not yet visible: only the top-level commit makes it permanent.
+        assert sh.stat("/n")["size"] == 4
+        pack = cluster.site(0).packs[0]
+        ino = sh.stat("/n")["ino"]
+        committed = pack.read_block(pack.get_inode(ino).pages[0])
+        assert committed == b"base"
+        cluster.call(0, tm.commit(parent))
+        assert sh.read_file("/n") == b"chld"
+
+    def test_subtransaction_abort_spares_parent(self, cluster, sh):
+        sh.write_file("/p", b"pppp")
+        sh.write_file("/c", b"cccc")
+        tm = cluster.site(0).tx
+        parent = tm.begin()
+        cluster.call(0, tm.write(parent, gfile_of(sh, "/p"), 0, b"PPPP"))
+        child = tm.begin(parent=parent)
+        cluster.call(0, tm.write(child, gfile_of(sh, "/c"), 0, b"CCCC"))
+        cluster.call(0, tm.abort(child))
+        cluster.call(0, tm.commit(parent))
+        assert sh.read_file("/p") == b"PPPP"   # parent's work survived
+        assert sh.read_file("/c") == b"cccc"   # child's was undone
+
+    def test_nested_sees_parent_staged_state(self, cluster, sh):
+        sh.write_file("/shared", b"v0")
+        tm = cluster.site(0).tx
+        parent = tm.begin()
+        g = gfile_of(sh, "/shared")
+        cluster.call(0, tm.write(parent, g, 0, b"v1"))
+        child = tm.begin(parent=parent)
+        assert cluster.call(0, tm.read(child, g, 0, 2)) == b"v1"
+        cluster.call(0, tm.commit(child))
+        cluster.call(0, tm.commit(parent))
+
+    def test_commit_with_active_subtransaction_rejected(self, cluster, sh):
+        tm = cluster.site(0).tx
+        parent = tm.begin()
+        tm.begin(parent=parent)
+        with pytest.raises(EINVAL):
+            cluster.call(0, tm.commit(parent))
+
+    def test_child_abort_through_inherited_handle_rolls_back(self, cluster,
+                                                             sh):
+        """A subtransaction writing to a file its parent already holds must
+        restore the parent's staged state when it aborts (savepoints)."""
+        sh.write_file("/acct", b"1000")
+        tm = cluster.site(0).tx
+        parent = tm.begin()
+        g = gfile_of(sh, "/acct")
+        cluster.call(0, tm.write(parent, g, 0, b"0700"))   # parent's work
+        child = tm.begin(parent=parent)
+        cluster.call(0, tm.write(child, g, 0, b"0690"))    # child's fee
+        cluster.call(0, tm.abort(child))
+        # The parent's staged value is back; its own write survived.
+        assert cluster.call(0, tm.read(parent, g, 0, 4)) == b"0700"
+        cluster.call(0, tm.commit(parent))
+        assert sh.read_file("/acct") == b"0700"
+
+    def test_parent_abort_cascades_to_children(self, cluster, sh):
+        sh.write_file("/cascade", b"orig")
+        tm = cluster.site(0).tx
+        parent = tm.begin()
+        child = tm.begin(parent=parent)
+        cluster.call(0, tm.write(child, gfile_of(sh, "/cascade"), 0,
+                                 b"temp"))
+        cluster.call(0, tm.abort(parent))
+        assert child.state is TxState.ABORTED
+        assert sh.read_file("/cascade") == b"orig"
+
+
+class TestPartitionAbort:
+    def test_partition_aborts_transactions_spanning_lost_sites(self, cluster,
+                                                               sh):
+        """Section 5.6: 'abort all related subtransactions in partition'."""
+        sh2 = cluster.shell(2)
+        sh2.write_file("/faraway", b"far")
+        cluster.settle()
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/faraway"), 0, b"FAR"))
+        cluster.partition({0, 1}, {2})
+        assert tx.state is TxState.ABORTED
+        assert tm.stats["partition_aborts"] == 1
+        cluster.heal()
+        assert sh2.read_file("/faraway") == b"far"   # staged change undone
+
+    def test_local_transaction_survives_unrelated_partition(self, cluster,
+                                                            sh):
+        sh.write_file("/nearby", b"near")
+        cluster.settle()
+        tm = cluster.site(0).tx
+        tx = tm.begin()
+        cluster.call(0, tm.write(tx, gfile_of(sh, "/nearby"), 0, b"NEAR"))
+        cluster.partition({0, 1}, {2})
+        assert tx.state is TxState.ACTIVE
+        cluster.call(0, tm.commit(tx))
+        assert sh.read_file("/nearby") == b"NEAR"

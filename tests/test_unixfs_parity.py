@@ -1,0 +1,75 @@
+"""The Unix baseline must track the same reference model as LOCUS: if the
+yardstick is wrong, T1's comparison means nothing."""
+
+import os
+import random
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from test_model_based import OPS, ModelFs, _random_path  # noqa: E402
+
+from repro.baselines.unixfs import UnixFs  # noqa: E402
+from repro.errors import FsError  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+
+def _run_unix_sequence(seed, n_ops=150):
+    rng = random.Random(seed)
+    sim = Simulator(seed=seed)
+    fs = UnixFs(sim)
+    model = ModelFs()
+    for step in range(n_ops):
+        op = rng.choice(("write", "read", "mkdir", "unlink", "readdir"))
+        path = _random_path(rng)
+        data = f"step {step}".encode()
+
+        def on_fs():
+            if op == "write":
+                return sim.run_task(fs.write_file(path, data)) and None
+            if op == "read":
+                attrs = sim.run_task(fs.stat(path))
+                if attrs["ftype"].value in ("directory", "hidden_dir"):
+                    return "DIR"
+                return sim.run_task(fs.read_file(path))
+            if op == "mkdir":
+                sim.run_task(fs.mkdir(path))
+                return None
+            if op == "unlink":
+                sim.run_task(fs.unlink(path))
+                return None
+            if op == "readdir":
+                return sim.run_task(fs.readdir(path))
+
+        def on_model():
+            if op == "write":
+                model.write_file(path, data)
+                return None
+            if op == "read":
+                return model.read_file(path)
+            if op == "mkdir":
+                model.mkdir(path)
+                return None
+            if op == "unlink":
+                model.unlink(path)
+                return None
+            if op == "readdir":
+                return model.readdir(path)
+
+        try:
+            got = ("ok", on_fs())
+        except FsError as exc:
+            got = ("err", exc.errno)
+        try:
+            want = ("ok", on_model())
+        except FsError as exc:
+            want = ("err", exc.errno)
+        assert got == want, f"step {step}: {op} {path}: {got} != {want}"
+    return n_ops
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_unix_baseline_matches_reference_model(seed):
+    assert _run_unix_sequence(seed) == 150

@@ -69,6 +69,10 @@ class Measure:
 
     def done(self) -> Dict:
         snap = self.window.close()
+        data_msgs = sum(snap.sent.get(k, 0) for k in snap.pages)
+        name_hits = sum(s.name_cache.stats.hits for s in self.cluster.sites)
+        name_misses = sum(s.name_cache.stats.misses
+                          for s in self.cluster.sites)
         return {
             "vtime": self.cluster.sim.now - self.t0,
             "cpu": {s.site_id: s.cpu_used - self.cpu0[s.site_id]
@@ -78,4 +82,14 @@ class Measure:
             "messages": snap.total_messages,
             "bytes": snap.total_bytes,
             "by_type": dict(snap.sent),
+            # Batched-transfer effectiveness: data pages moved per
+            # page-carrying message inside this window.
+            "pages_per_message": (sum(snap.pages.values()) / data_msgs
+                                  if data_msgs else 0.0),
+            # Name-cache effectiveness (cumulative per cluster, since the
+            # per-site stats are not windowed).
+            "name_cache_hit_rate": (name_hits / (name_hits + name_misses)
+                                    if name_hits + name_misses else 0.0),
+            "pipelined_rounds": sum(s.fs.propagator.stats.pipelined_rounds
+                                    for s in self.cluster.sites),
         }

@@ -1,0 +1,183 @@
+"""T14 — hot-path ablation: name cache × batched page transfer.
+
+Two hot paths from the paper's own profile of distributed operation:
+
+(a) repeated pathname resolution against *remote, multi-page* directories
+    (section 2.3.4's per-component interrogation — open, read the pages,
+    close, for every component of every walk), and
+(b) the propagation pull of a large file after a remote commit (section
+    2.3.6 — one ``fs.pull_read`` round trip per page in the paper).
+
+The two optimisations under test (DESIGN.md additions, both default-off so
+every other benchmark still measures the paper's exact protocol):
+
+* ``name_cache``   — per-site cache of decoded directory entries keyed by
+  (gfile, version vector); a walk revalidates with one small version probe
+  instead of re-reading the directory pages.
+* ``batch_pages`` / ``readahead_window`` / ``pull_pipeline`` — multi-page
+  read and pull-range messages, plus K range requests kept in flight
+  during propagation.
+
+The ablation grid crosses them: off/off, cache only, batch only, both.
+Acceptance: "both" achieves >= 2x reduction in message count AND virtual
+time vs off/off, on both scenarios; identical seeds give identical traces.
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro import LocusCluster
+from repro.config import CostModel
+from repro.net.stats import StatsWindow
+from _harness import Measure, print_table, run_experiment
+
+DEPTH = 3           # /dir0/dir1/dir2/leaf
+FANOUT = 60         # entries per directory -> every directory is 2+ pages
+REPEATS = 20        # resolutions in the measured window
+PULL_KB = 32        # pages in the propagated file
+
+COMBOS = [
+    ("off", {}),
+    ("cache", {"name_cache": True}),
+    ("batch", {"batch_pages": 8, "readahead_window": 8,
+               "pull_pipeline": 4}),
+    ("both", {"name_cache": True, "batch_pages": 8,
+              "readahead_window": 8, "pull_pipeline": 4}),
+]
+
+
+def _cost(flags):
+    return CostModel().with_overrides(**flags)
+
+
+# -- scenario (a): repeated remote path resolution -------------------------
+
+def _walk_metrics(flags):
+    cluster = LocusCluster(n_sites=2, seed=23, root_pack_sites=[0],
+                           cost=_cost(flags))
+    sh0 = cluster.shell(0)
+    path = ""
+    for d in range(DEPTH):
+        path += f"/dir{d}"
+        sh0.mkdir(path)
+        for i in range(FANOUT):
+            sh0.write_file(f"{path}/entry-{i:04d}", b"")
+    leaf = path + "/leaf"
+    sh0.write_file(leaf, b"L" * 2048)
+    cluster.settle()
+    sh1 = cluster.shell(1)
+    sh1.stat(leaf)                     # cold walk: fills caches if enabled
+    m = Measure(cluster)
+    for __ in range(REPEATS):
+        sh1.stat(leaf)
+    out = m.done()
+    # Every walk must see the real file, cache or no cache.
+    assert sh1.stat(leaf)["size"] == 2048
+    return out
+
+
+# -- scenario (b): multi-page propagation pull -----------------------------
+
+def _pull_metrics(flags):
+    cluster = LocusCluster(n_sites=2, seed=23, cost=_cost(flags))
+    sh0 = cluster.shell(0)
+    sh0.setcopies(2)
+    sh0.write_file("/big", b"s")
+    cluster.settle()                   # tiny initial propagation
+    data = bytes((i * 7) % 256 for i in range(PULL_KB * 1024))
+    sh0.write_file("/big", data)
+    # Window opens after the local write returns: the clock and the message
+    # window see (almost) only site 1's pull of the new pages.
+    t0 = cluster.sim.now
+    win = StatsWindow(cluster.stats)
+    cluster.settle()
+    snap = win.close()
+    vtime = cluster.sim.now - t0
+    assert cluster.shell(1).read_file("/big") == data
+    data_msgs = sum(snap.sent.get(k, 0) for k in snap.pages)
+    return {
+        "vtime": vtime,
+        "messages": snap.total_messages,
+        "bytes": snap.total_bytes,
+        "pages_per_message": (sum(snap.pages.values()) / data_msgs
+                              if data_msgs else 0.0),
+        "pipelined_rounds": sum(s.fs.propagator.stats.pipelined_rounds
+                                for s in cluster.sites),
+    }
+
+
+def _experiment():
+    rows = []
+    results = {}
+    for label, flags in COMBOS:
+        walk = _walk_metrics(flags)
+        pull = _pull_metrics(flags)
+        results[label] = {"walk": walk, "pull": pull}
+        rows.append([
+            label,
+            walk["messages"], walk["vtime"],
+            round(walk["name_cache_hit_rate"], 2),
+            pull["messages"], pull["vtime"],
+            round(pull["pages_per_message"], 1),
+        ])
+    off, both = results["off"], results["both"]
+    return {
+        "rows": rows,
+        "results": results,
+        "walk_msg_ratio": off["walk"]["messages"] / both["walk"]["messages"],
+        "walk_vtime_ratio": off["walk"]["vtime"] / both["walk"]["vtime"],
+        "pull_msg_ratio": off["pull"]["messages"] / both["pull"]["messages"],
+        "pull_vtime_ratio": off["pull"]["vtime"] / both["pull"]["vtime"],
+    }
+
+
+@pytest.mark.benchmark(group="T14")
+def test_t14_hotpath_ablation(benchmark):
+    out = run_experiment(benchmark, _experiment)
+    print_table(
+        f"T14: {REPEATS} remote walks ({DEPTH} deep, {FANOUT}-entry dirs) "
+        f"and one {PULL_KB}-page pull",
+        ["config", "walk msgs", "walk vtime", "name hit",
+         "pull msgs", "pull vtime", "pages/msg"],
+        out["rows"])
+    # The acceptance floor: both optimisations together at least halve
+    # message count and virtual time on both hot paths.
+    assert out["walk_msg_ratio"] >= 2.0, out["walk_msg_ratio"]
+    assert out["walk_vtime_ratio"] >= 2.0, out["walk_vtime_ratio"]
+    assert out["pull_msg_ratio"] >= 2.0, out["pull_msg_ratio"]
+    assert out["pull_vtime_ratio"] >= 2.0, out["pull_vtime_ratio"]
+    # Each optimisation alone helps its own scenario.
+    res = out["results"]
+    assert res["cache"]["walk"]["messages"] < res["off"]["walk"]["messages"]
+    assert res["batch"]["pull"]["messages"] < res["off"]["pull"]["messages"]
+    assert res["cache"]["walk"]["name_cache_hit_rate"] > 0.5
+    assert res["batch"]["pull"]["pipelined_rounds"] >= 1
+
+
+@pytest.mark.benchmark(group="T14")
+def test_t14_determinism(benchmark):
+    """Identical seeds give identical traces under the full optimisation
+    set — the batching and pipelining stay deterministic."""
+    def _twice():
+        a = _walk_metrics(dict(COMBOS[3][1]))
+        b = _walk_metrics(dict(COMBOS[3][1]))
+        return {"equal": (a["vtime"] == b["vtime"]
+                          and a["messages"] == b["messages"]
+                          and a["by_type"] == b["by_type"])}
+    out = run_experiment(benchmark, _twice)
+    assert out["equal"]
+
+
+if __name__ == "__main__":
+    out = _experiment()
+    baseline = {
+        "experiment": "T14 hot-path ablation",
+        "combos": {label: out["results"][label] for label, __ in COMBOS},
+        "ratios": {k: round(out[k], 3) for k in
+                   ("walk_msg_ratio", "walk_vtime_ratio",
+                    "pull_msg_ratio", "pull_vtime_ratio")},
+    }
+    json.dump(baseline, sys.stdout, indent=2, default=str)
+    print()

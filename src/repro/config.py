@@ -46,6 +46,19 @@ class CostModel:
     # Protocol behaviour
     readahead: bool = True          # one-page readahead on sequential reads
     delta_propagation: bool = True  # pull only changed pages when sound
+    # Hot-path optimizations (each one a measurable ablation; the defaults
+    # keep the paper's exact per-message protocols, like pathname_shipping):
+    # cache decoded directory entries keyed by committed version vector so
+    # repeat pathname components skip the open/read/decode/close cycle.
+    name_cache: bool = False
+    name_cache_entries: int = 256   # per-site name cache capacity (dirs)
+    # Batched page transfer: up to this many pages per fs.read_pages /
+    # fs.pull_read_range message (1 = the paper's one-page-per-message
+    # protocol).  Message size stays the sum of payload bytes, so the wire
+    # model keeps charging honestly for the data moved.
+    batch_pages: int = 1
+    readahead_window: int = 1       # pages fetched ahead on sequential reads
+    pull_pipeline: int = 1          # concurrent propagation-pull requests
     merge_sequential_poll: bool = False  # ablation: poll sites one by one
     # Ablation: disable the CSS single-open-for-modification policy; with
     # replication and no global synchronization, concurrent writers diverge

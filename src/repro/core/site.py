@@ -18,6 +18,7 @@ from repro.errors import (CircuitClosed, NetworkError, SiteDown, SimTimeout,
                           TaskCancelled, Unreachable)
 from repro.net.message import Message, MsgKind
 from repro.net.network import Network
+from repro.fs.name_cache import NameCache
 from repro.sim.simulator import Simulator
 from repro.sim.task import Task
 from repro.storage.buffer_cache import BufferCache
@@ -42,6 +43,10 @@ class Site:
         self.programs: Dict[str, Any] = {}   # the installed instruction set
         self.packs: Dict[int, Pack] = {}            # gfs -> local pack
         self.cache = BufferCache(self.cost.buffer_pages)
+        # Decoded-directory-entry cache; every buffer-cache invalidation
+        # path cascades into it (see BufferCache.companion).
+        self.name_cache = NameCache(self.cost.name_cache_entries)
+        self.cache.companion = self.name_cache
         self._handlers: Dict[str, Handler] = {}
         self._pending: Dict[Tuple[int, int], Any] = {}  # (peer, reqid) -> Future
         self._reqids = itertools.count(1)

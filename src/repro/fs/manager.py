@@ -78,6 +78,7 @@ class FsManager(PathMixin, NamespaceMixin):
         reg("fs.css_open", self.h_css_open)
         reg("fs.ss_open", self.h_ss_open)
         reg("fs.read_page", self.h_read_page)
+        reg("fs.read_pages", self.h_read_pages)
         reg("fs.write_page", self.h_write_page)
         reg("fs.truncate", self.h_truncate)
         reg("fs.set_attrs", self.h_set_attrs)
@@ -93,6 +94,8 @@ class FsManager(PathMixin, NamespaceMixin):
         reg("fs.fetch_attrs", self.h_fetch_attrs)
         reg("fs.pull_open", self.h_pull_open)
         reg("fs.pull_read", self.h_pull_read)
+        reg("fs.pull_read_range", self.h_pull_read_range)
+        reg("fs.dir_version", self.h_dir_version)
         reg("fs.pack_inventory", self.h_pack_inventory)
         reg("fs.css_rebuild", self.h_css_rebuild)
         reg("fs.invalidate_file", self.h_invalidate_file)
@@ -411,8 +414,14 @@ class FsManager(PathMixin, NamespaceMixin):
         if offset >= end:
             return b""
         psz = self.cost.page_size
+        first, last = offset // psz, (end - 1) // psz
+        if (last > first and self.cost.batch_pages > 1
+                and handle.ss_site != self.sid):
+            # Batched transfer: pull the whole span across the wire in
+            # ceil(n / batch_pages) messages instead of one per page.
+            yield from self._prefetch_pages(handle, range(first, last + 1))
         chunks: List[bytes] = []
-        for page in range(offset // psz, (end - 1) // psz + 1):
+        for page in range(first, last + 1):
             data = yield from self._get_page(handle, page)
             data = data.ljust(psz, b"\x00")
             lo = max(offset, page * psz) - page * psz
@@ -420,6 +429,55 @@ class FsManager(PathMixin, NamespaceMixin):
             chunks.append(data[lo:hi])
             yield from self.site.cpu(self.cost.cpu_page_copy)
         return b"".join(chunks)
+
+    def _prefetch_pages(self, handle: UsHandle, pages) -> Generator:
+        """Fetch the missing pages of a multi-page read from a remote SS
+        with batched ``fs.read_pages`` requests (up to ``batch_pages`` pages
+        per message).  Fills the same cache keyspace the per-page path uses,
+        so ``_get_page`` then serves every page as a buffer hit."""
+        gfile = handle.gfile
+        committed = not handle.sync
+
+        def key_of(page: int):
+            if committed:
+                return (gfile[0], gfile[1], page, "c")
+            return self._page_key(gfile, page)
+
+        missing = [p for p in pages if key_of(p) not in self.site.cache
+                   and (committed or key_of(p) not in self._inflight)]
+        batch = self.cost.batch_pages
+        for i in range(0, len(missing), batch):
+            chunk = missing[i:i + batch]
+            futs = {}
+            if not committed:
+                # Register in-flight buffers so concurrent demand reads
+                # and readaheads share these fetches instead of re-asking.
+                for p in chunk:
+                    fut = self.site.sim.create_future(f"fetch:{key_of(p)}")
+                    self._inflight[key_of(p)] = fut
+                    futs[p] = fut
+            try:
+                resp = yield from self.site.rpc(
+                    handle.ss_site, "fs.read_pages", {
+                        "gfile": gfile, "pages": list(chunk),
+                        "committed": committed,
+                    })
+            except BaseException as exc:
+                for p, fut in futs.items():
+                    self._inflight.pop(key_of(p), None)
+                    fut.fail(exc)
+                raise
+            for p in chunk:
+                data = resp["pages"][p]
+                if not committed:
+                    self._inflight.pop(key_of(p), None)
+                if key_of(p) not in self.site.cache:
+                    # Never overwrite newer content a concurrent local
+                    # write may have produced while we were in flight.
+                    self.site.cache.put(key_of(p), data)
+                if p in futs:
+                    futs[p].resolve(data)
+        return None
 
     def _get_page(self, handle: UsHandle, page: int) -> Generator:
         gfile = handle.gfile
@@ -475,15 +533,28 @@ class FsManager(PathMixin, NamespaceMixin):
         return data
 
     def _maybe_readahead(self, handle: UsHandle, page: int) -> None:
-        if page >= self._n_pages(handle.size):
+        """Start fetching ``readahead_window`` pages from ``page`` on (the
+        paper's protocol reads one ahead; a wider window keeps a remote
+        sequential reader streaming instead of stalling every page)."""
+        limit = self._n_pages(handle.size)
+        window = max(1, self.cost.readahead_window)
+        targets = []
+        for p in range(page, min(page + window, limit)):
+            key = self._page_key(handle.gfile, p)
+            if key in self.site.cache or key in self._inflight:
+                continue
+            fut = self.site.sim.create_future(f"readahead:{key}")
+            self._inflight[key] = fut
+            targets.append((p, key, fut))
+        if not targets:
             return
-        key = self._page_key(handle.gfile, page)
-        if key in self.site.cache or key in self._inflight:
-            return
-        fut = self.site.sim.create_future(f"readahead:{key}")
-        self._inflight[key] = fut
-        self.site.spawn(self._readahead(handle, page, key, fut),
-                        name=f"readahead:{handle.gfile}:{page}")
+        if self.cost.batch_pages > 1 and len(targets) > 1:
+            self.site.spawn(self._readahead_batch(handle, targets),
+                            name=f"readahead:{handle.gfile}:{page}+")
+        else:
+            for p, key, fut in targets:
+                self.site.spawn(self._readahead(handle, p, key, fut),
+                                name=f"readahead:{handle.gfile}:{p}")
 
     def _readahead(self, handle: UsHandle, page: int, key, fut) -> Generator:
         try:
@@ -498,6 +569,29 @@ class FsManager(PathMixin, NamespaceMixin):
         if key not in self.site.cache:   # never clobber a newer write
             self.site.cache.put(key, data)
         fut.resolve(data)
+
+    def _readahead_batch(self, handle: UsHandle, targets) -> Generator:
+        """Readahead for several pages with fs.read_pages messages."""
+        batch = self.cost.batch_pages
+        for i in range(0, len(targets), batch):
+            chunk = targets[i:i + batch]
+            try:
+                resp = yield from self.site.rpc(
+                    handle.ss_site, "fs.read_pages", {
+                        "gfile": handle.gfile,
+                        "pages": [p for p, __, __ in chunk],
+                    })
+            except (NetworkError, EBADF, ESTALE, ENOENT) as exc:
+                for __, key, fut in chunk:
+                    self._inflight.pop(key, None)
+                    fut.fail(exc)
+                continue
+            for p, key, fut in chunk:
+                data = resp["pages"][p]
+                self._inflight.pop(key, None)
+                if key not in self.site.cache:   # never clobber a newer write
+                    self.site.cache.put(key, data)
+                fut.resolve(data)
 
     def _get_page_committed(self, handle: UsHandle, page: int) -> Generator:
         gfile = handle.gfile
@@ -550,13 +644,39 @@ class FsManager(PathMixin, NamespaceMixin):
     def h_read_page(self, src: int, p: dict) -> Generator:
         if p.get("committed"):
             data = yield from self._committed_block(p["gfile"], p["page"])
+            if src != self.sid:
+                self.site.net.stats.record_pages("fs.read_page", 1)
             return data
         so = self.ss.get(p["gfile"])
         if so is None:
             raise EBADF(f"{p['gfile']} not open at storage site {self.sid}")
         data = yield from self._ss_read_block(so, p["page"])
         so.page_holders.setdefault(p["page"], set()).add(src)
+        if src != self.sid:
+            self.site.net.stats.record_pages("fs.read_page", 1)
         return data
+
+    def h_read_pages(self, src: int, p: dict) -> Generator:
+        """Batched network read: up to ``batch_pages`` pages in one
+        request/response pair instead of a pair per page.  Page semantics
+        match N ``fs.read_page`` calls exactly (same cache paths, same
+        page-holder registration); only the message count changes — the
+        response's wire size is still the sum of all payload bytes."""
+        gfile: Gfile = p["gfile"]
+        out: Dict[int, bytes] = {}
+        if p.get("committed"):
+            for page in p["pages"]:
+                out[page] = yield from self._committed_block(gfile, page)
+        else:
+            so = self.ss.get(gfile)
+            if so is None:
+                raise EBADF(f"{gfile} not open at storage site {self.sid}")
+            for page in p["pages"]:
+                out[page] = yield from self._ss_read_block(so, page)
+                so.page_holders.setdefault(page, set()).add(src)
+        if src != self.sid:
+            self.site.net.stats.record_pages("fs.read_pages", len(out))
+        return {"pages": out}
 
     # ------------------------------------------------------------------
     # US: write
@@ -1073,7 +1193,20 @@ class FsManager(PathMixin, NamespaceMixin):
         the last committed version.
         """
         data = yield from self._committed_block(p["gfile"], p["page"])
+        if src != self.sid:
+            self.site.net.stats.record_pages("fs.pull_read", 1)
         return data
+
+    def h_pull_read_range(self, src: int, p: dict) -> Generator:
+        """Serve a contiguous run of *committed* pages to a propagation
+        pull in one message (the batched counterpart of fs.pull_read)."""
+        gfile: Gfile = p["gfile"]
+        out: Dict[int, bytes] = {}
+        for page in p["pages"]:
+            out[page] = yield from self._committed_block(gfile, page)
+        if src != self.sid:
+            self.site.net.stats.record_pages("fs.pull_read_range", len(out))
+        return {"pages": out}
 
     # ------------------------------------------------------------------
     # Recovery support

@@ -1,0 +1,127 @@
+"""Per-site cache of decoded directory entries (the hot-path name cache).
+
+Pathname searching is the dominant repeated cost of the system (paper
+section 2.3.4 extends it with pathname shipping for exactly that reason):
+every component of every ``walk()`` pays an unsynchronized open, a page read
+per directory page, a decode, and a close — network messages for every
+remote directory.  This cache remembers the *decoded* entry list of a
+directory keyed by the version vector of the committed content it was
+decoded from.
+
+Consistency model — stale entries are impossible, not just unlikely:
+
+* An entry is only ever **used** after the caller re-validates the version
+  vector against the authority the uncached path would have consulted (the
+  local committed inode for a clean local copy, the CSS's merged
+  latest-version knowledge otherwise).  Version vectors are bumped on every
+  commit, so vector equality implies content equality.
+* Every path that invalidates buffer-cache pages for a file (commit
+  notification intake, page-valid-token revocation, propagation-pull
+  completion, recovery/merge installs, partition cleanup, close) also drops
+  the name entry: :class:`~repro.storage.buffer_cache.BufferCache` cascades
+  its ``invalidate*`` calls into its companion name cache.
+
+Entries are handed out as fresh copies so callers can never mutate the
+cached truth in place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.fs.directory import DirEntry
+from repro.fs.types import Gfile
+from repro.storage.version_vector import VersionVector
+
+
+@dataclass
+class NameCacheStats:
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    invalidations: int = 0
+    stale_drops: int = 0     # lookups that failed version validation
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _NameEntry:
+    version: VersionVector
+    entries: Tuple[DirEntry, ...]
+
+
+class NameCache:
+    """LRU map ``gfile -> (version_vector, decoded entries)``."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("name cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Gfile, _NameEntry]" = OrderedDict()
+        self.stats = NameCacheStats()
+
+    # -- lookup ----------------------------------------------------------
+
+    def peek(self, gfile: Gfile) -> Optional[_NameEntry]:
+        """The raw cached entry without validation or stats counting; the
+        caller must validate ``.version`` before using ``.entries``."""
+        return self._entries.get(gfile)
+
+    def get(self, gfile: Gfile,
+            version: VersionVector) -> Optional[List[DirEntry]]:
+        """Validated lookup: the cached entries, iff they were decoded from
+        exactly the committed content identified by ``version``."""
+        cached = self._entries.get(gfile)
+        if cached is None:
+            self.stats.misses += 1
+            return None
+        if cached.version != version:
+            # The directory moved on; the entry is dead weight.
+            self._entries.pop(gfile, None)
+            self.stats.stale_drops += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(gfile)
+        self.stats.hits += 1
+        return self.copy_entries(cached.entries)
+
+    @staticmethod
+    def copy_entries(entries) -> List[DirEntry]:
+        """Fresh ``DirEntry`` objects: callers may mutate their view."""
+        return [DirEntry(name=e.name, ino=e.ino, ftype=e.ftype,
+                         deleted=e.deleted, dvv=e.dvv)
+                for e in entries]
+
+    # -- fill / invalidate ----------------------------------------------
+
+    def put(self, gfile: Gfile, version: VersionVector, entries) -> None:
+        self._entries[gfile] = _NameEntry(version=version.copy(),
+                                          entries=tuple(
+                                              self.copy_entries(entries)))
+        self._entries.move_to_end(gfile)
+        self.stats.fills += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_file(self, gfs: int, ino: int) -> bool:
+        if self._entries.pop((gfs, ino), None) is not None:
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        if self._entries:
+            self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, gfile: Gfile) -> bool:
+        return gfile in self._entries

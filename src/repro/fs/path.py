@@ -59,6 +59,98 @@ class PathMixin:
 
     # -- directory reading -------------------------------------------------
 
+    def _dir_cache_version(self, gfile: Gfile) -> Generator:
+        """The version vector a name-cache hit must match to be usable, or
+        None when the cache must be bypassed.
+
+        Mirrors exactly the authority the uncached interrogation would
+        consult: a clean local committed copy is served without informing
+        the CSS (§2.3.4), so its version is the truth here; otherwise the
+        CSS's merged latest-version knowledge decides (it is updated
+        synchronously by every commit, §2.3.6), so a remote commit is
+        visible before the next lookup returns.
+        """
+        inode = self.local_inode(gfile)
+        recovery = self.site.recovery
+        if inode is not None:
+            if (inode.has_data and not inode.deleted and not inode.conflict
+                    and not self.propagator.is_pending(gfile)
+                    and not (recovery is not None and recovery.needs(gfile))):
+                heard = self.known_latest.get(gfile)
+                if heard is not None and not inode.version.dominates(heard):
+                    return None   # a newer commit was announced: revalidate
+                yield from self.site.cpu(self.cost.buffer_hit)
+                return inode.version
+            return None
+        css = self.mount.css_for(gfile[0])
+        try:
+            out = yield from self.site.rpc(css, "fs.dir_version",
+                                           {"gfile": gfile})
+        except (ENOENT, NetworkError):
+            return None
+        if out["deleted"] or out["conflict"]:
+            return None
+        return out["version"]
+
+    def h_dir_version(self, src: int, p: dict) -> Generator:
+        """CSS service for name-cache validation: the latest committed
+        version this CSS knows of, merged from its local inode and every
+        commit notification heard so far."""
+        gfile: Gfile = p["gfile"]
+        attrs = yield from self._css_local_attrs(gfile)
+        latest = attrs["version"]
+        heard = self.known_latest.get(gfile)
+        if heard is not None:
+            latest = latest.merge(heard)
+        yield from self.site.cpu(self.cost.buffer_hit)
+        return {"version": latest, "deleted": attrs["deleted"],
+                "conflict": attrs["conflict"]}
+
+    def _name_cache_lookup(self, gfile: Gfile) -> Generator:
+        """Validated name-cache probe; returns the entries or None."""
+        nc = self.site.name_cache
+        cached = nc.peek(gfile)
+        if cached is None:
+            nc.stats.misses += 1
+            return None
+        version = yield from self._dir_cache_version(gfile)
+        if version is None:
+            nc.stats.misses += 1
+            return None
+        entries = nc.get(gfile, version)
+        if entries is None:
+            return None
+        yield from self.site.cpu(self.cost.buffer_hit)
+        return entries
+
+    def _name_cache_fill(self, gfile: Gfile, handle, entries) -> Generator:
+        """Install decoded entries, but only when the committed version
+        they correspond to can be verified.
+
+        Version vectors are bumped by every commit, so 'version unchanged
+        across the read' proves the pages all belong to that version.
+        """
+        nc = self.site.name_cache
+        version = handle.attrs.get("version")
+        if version is None:
+            return None
+        if handle.ss_site == self.sid:
+            inode = self.local_inode(gfile)
+            if (inode is not None and inode.has_data and not inode.deleted
+                    and not inode.conflict and inode.version == version):
+                nc.put(gfile, version, entries)
+            return None
+        try:
+            attrs = yield from self.site.rpc(handle.ss_site,
+                                             "fs.fetch_attrs",
+                                             {"gfile": gfile})
+        except (ENOENT, NetworkError):
+            return None
+        if (attrs["version"] == version and not attrs["deleted"]
+                and not attrs["conflict"]):
+            nc.put(gfile, version, entries)
+        return None
+
     def read_dir_entries(self, gfile: Gfile) -> Generator:
         """Read and decode one directory via an unsynchronized open.
 
@@ -66,7 +158,15 @@ class PathMixin:
         pages, half new); the codec detects the tear and the read retries
         against the fresh committed state.  Each individual entry operation
         is atomic, so a clean decode is a consistent picture (§2.3.4).
+
+        With ``CostModel.name_cache`` on, a validated cache hit skips the
+        whole open/read/decode/close cycle.
         """
+        use_cache = self.cost.name_cache
+        if use_cache:
+            cached = yield from self._name_cache_lookup(gfile)
+            if cached is not None:
+                return cached
         last_error: Optional[Exception] = None
         for attempt in range(8):
             handle = yield from self.open_gfile(gfile, Mode.UNSYNC)
@@ -86,6 +186,8 @@ class PathMixin:
                 continue
             yield from self.site.cpu(self.cost.cpu_dir_entry * max(
                 1, len(entries)))
+            if use_cache:
+                yield from self._name_cache_fill(gfile, handle, entries)
             return entries
         raise EINVAL(f"directory {gfile} unreadable after retries: "
                      f"{last_error}")
@@ -271,6 +373,13 @@ class PathMixin:
             return None
         if inode.ftype not in (FileType.DIRECTORY, FileType.HIDDEN_DIR):
             raise ENOTDIR(f"gfile {gfile}")
+        if self.cost.name_cache:
+            # Parity with the uncached path: this function serves the local
+            # committed copy, so its version is the validation authority.
+            cached = self.site.name_cache.get(gfile, inode.version)
+            if cached is not None:
+                yield from self.site.cpu(self.cost.buffer_hit)
+                return cached
         psz = self.cost.page_size
         from repro.fs.directory import decode_entries as _decode
         for attempt in range(8):
@@ -290,6 +399,10 @@ class PathMixin:
             if entries is not None and inode.version == version_before:
                 yield from self.site.cpu(self.cost.cpu_dir_entry
                                          * max(1, len(entries)))
+                if self.cost.name_cache:
+                    # The stability check above proved every page belongs
+                    # to version_before: safe to remember the decode.
+                    self.site.name_cache.put(gfile, version_before, entries)
                 return entries
             self.site.cache.invalidate_file(*gfile)
             yield 1.0 + attempt    # torn by a concurrent commit: retry

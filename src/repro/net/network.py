@@ -220,6 +220,11 @@ class Network:
         circuit.open = False
         self.stats.circuits_closed += 1
         a, b = tuple(pair)
+        # The FIFO floor only orders messages within one circuit incarnation;
+        # dropping it here keeps _last_delivery from growing without bound
+        # across partitions and crashes (a fresh circuit starts fresh).
+        self._last_delivery.pop((a, b), None)
+        self._last_delivery.pop((b, a), None)
         for end, peer in ((a, b), (b, a)):
             if end in self._up:
                 notify = self._closed_fns.get(end)

@@ -16,6 +16,9 @@ from typing import Dict, Optional
 class NetStats:
     sent: Counter = field(default_factory=Counter)          # mtype -> messages
     bytes_sent: Counter = field(default_factory=Counter)    # mtype -> bytes
+    # mtype -> data pages carried (batched transfers move several per
+    # message; pages/messages is the batching-effectiveness metric).
+    pages: Counter = field(default_factory=Counter)
     delivered: int = 0
     dropped: int = 0
     circuits_opened: int = 0
@@ -33,10 +36,19 @@ class NetStats:
         self.sent[stat_key] += 1
         self.bytes_sent[stat_key] += size
 
+    def record_pages(self, stat_key: str, n: int) -> None:
+        """Count ``n`` data pages served over the wire for ``stat_key``."""
+        self.pages[stat_key] += n
+
+    def pages_per_message(self, stat_key: str) -> float:
+        msgs = self.sent.get(stat_key, 0)
+        return self.pages.get(stat_key, 0) / msgs if msgs else 0.0
+
     def snapshot(self) -> "StatsSnapshot":
         return StatsSnapshot(
             sent=Counter(self.sent),
             bytes_sent=Counter(self.bytes_sent),
+            pages=Counter(self.pages),
             delivered=self.delivered,
             dropped=self.dropped,
         )
@@ -52,6 +64,7 @@ class StatsSnapshot:
     bytes_sent: Counter
     delivered: int
     dropped: int
+    pages: Counter = field(default_factory=Counter)
 
     def diff(self, later: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated between ``self`` (earlier) and ``later``."""
@@ -62,6 +75,9 @@ class StatsSnapshot:
             bytes_sent=Counter({k: v - self.bytes_sent.get(k, 0)
                                 for k, v in later.bytes_sent.items()
                                 if v - self.bytes_sent.get(k, 0)}),
+            pages=Counter({k: v - self.pages.get(k, 0)
+                           for k, v in later.pages.items()
+                           if v - self.pages.get(k, 0)}),
             delivered=later.delivered - self.delivered,
             dropped=later.dropped - self.dropped,
         )

@@ -4,13 +4,24 @@
 and in LOCUS" (paper section 2.3.3).  The using site caches remote pages it
 has read; page-valid tokens managed by the storage site invalidate cached
 copies when another site modifies the page (section 3.2 footnote).
+
+Page keys are tuples beginning with ``(gfs, ino)`` — the incore view uses
+``(gfs, ino, page)`` and the committed view ``(gfs, ino, page, "c")``.  A
+per-file index over those keys makes whole-file invalidation proportional
+to the file's cached pages instead of the cache capacity.
+
+A companion :class:`~repro.fs.name_cache.NameCache` may be attached; every
+invalidation path through this cache then also drops the file's decoded
+directory entries, so all the existing invalidation call sites (commit
+notification, token revocation, propagation completion, recovery installs,
+partition cleanup) cover the name cache for free.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Optional, Set, Tuple
 
 
 @dataclass
@@ -26,15 +37,49 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+def _file_key(key: Hashable) -> Optional[Tuple]:
+    """The ``(gfs, ino)`` a page key belongs to, or None for foreign keys."""
+    if isinstance(key, tuple) and len(key) >= 2:
+        return key[:2]
+    return None
+
+
 class BufferCache:
-    """LRU cache of pages keyed by ``(gfs, ino, logical_page)``."""
+    """LRU cache of pages keyed by ``(gfs, ino, logical_page[, view])``."""
 
     def __init__(self, capacity_pages: int = 256):
         if capacity_pages <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity_pages
         self._pages: "OrderedDict[Hashable, bytes]" = OrderedDict()
+        # (gfs, ino) -> set of this file's keys currently cached.
+        self._by_file: Dict[Tuple, Set[Hashable]] = {}
         self.stats = CacheStats()
+        # Optional NameCache that must see every file invalidation.
+        self.companion = None
+
+    # -- internal index maintenance --------------------------------------
+
+    def _index(self, key: Hashable) -> None:
+        fkey = _file_key(key)
+        if fkey is not None:
+            self._by_file.setdefault(fkey, set()).add(key)
+
+    def _unindex(self, key: Hashable) -> None:
+        fkey = _file_key(key)
+        if fkey is None:
+            return
+        keys = self._by_file.get(fkey)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_file[fkey]
+
+    def _drop_companion(self, gfs, ino) -> None:
+        if self.companion is not None:
+            self.companion.invalidate_file(gfs, ino)
+
+    # -- page operations --------------------------------------------------
 
     def get(self, key: Hashable) -> Optional[bytes]:
         data = self._pages.get(key)
@@ -52,41 +97,64 @@ class BufferCache:
     def put(self, key: Hashable, data: bytes) -> None:
         if key in self._pages:
             self._pages.move_to_end(key)
+        else:
+            self._index(key)
         self._pages[key] = data
         while len(self._pages) > self.capacity:
-            self._pages.popitem(last=False)
+            evicted, __ = self._pages.popitem(last=False)
+            self._unindex(evicted)
             self.stats.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one page (page-valid token revoked)."""
         if self._pages.pop(key, None) is not None:
+            self._unindex(key)
             self.stats.invalidations += 1
+            fkey = _file_key(key)
+            if fkey is not None:
+                self._drop_companion(*fkey)
             return True
+        fkey = _file_key(key)
+        if fkey is not None:
+            self._drop_companion(*fkey)
         return False
 
     def invalidate_file(self, gfs: int, ino: int) -> int:
         """Drop every cached page of one file (close/conflict/reconcile),
         both the incore-view and committed-view keyspaces."""
-        doomed = [k for k in self._pages
-                  if isinstance(k, tuple) and k[:2] == (gfs, ino)]
+        doomed = self._by_file.pop((gfs, ino), None) or ()
         for key in doomed:
-            self._pages.pop(key)
+            self._pages.pop(key, None)
         self.stats.invalidations += len(doomed)
+        self._drop_companion(gfs, ino)
         return len(doomed)
 
     def invalidate_committed(self, gfs: int, ino: int) -> int:
         """Drop only the committed-view pages of one file (a commit just
         made them stale; the incore-view pages became the new truth)."""
-        doomed = [k for k in self._pages
-                  if isinstance(k, tuple) and len(k) == 4
-                  and k[:2] == (gfs, ino)]
+        keys = self._by_file.get((gfs, ino))
+        doomed = [k for k in keys if len(k) == 4] if keys else []
         for key in doomed:
-            self._pages.pop(key)
+            self._pages.pop(key, None)
+            self._unindex(key)
         self.stats.invalidations += len(doomed)
+        # The commit changed the file's committed content: any decoded
+        # directory entries for it are stale too.
+        self._drop_companion(gfs, ino)
         return len(doomed)
 
     def clear(self) -> None:
         self._pages.clear()
+        self._by_file.clear()
+        if self.companion is not None:
+            self.companion.clear()
+
+    def check_index(self) -> bool:
+        """Internal consistency: the per-file index mirrors the page map
+        exactly (used by the eviction-consistency tests)."""
+        indexed = {k for keys in self._by_file.values() for k in keys}
+        in_pages = {k for k in self._pages if _file_key(k) is not None}
+        return indexed == in_pages and all(self._by_file.values())
 
     def __len__(self) -> int:
         return len(self._pages)

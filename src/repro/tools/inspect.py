@@ -30,6 +30,19 @@ def site_report(site) -> Dict:
             "hit_rate": round(site.cache.stats.hit_rate, 3),
             "invalidations": site.cache.stats.invalidations,
         },
+        "name_cache": {
+            "dirs": len(site.name_cache),
+            "hit_rate": round(site.name_cache.stats.hit_rate, 3),
+            "fills": site.name_cache.stats.fills,
+            "stale_drops": site.name_cache.stats.stale_drops,
+            "invalidations": site.name_cache.stats.invalidations,
+        },
+        "propagation": {
+            "pulls": fs.propagator.stats.pulls,
+            "pages_pulled": fs.propagator.stats.pages_pulled,
+            "range_requests": fs.propagator.stats.range_requests,
+            "pipelined_rounds": fs.propagator.stats.pipelined_rounds,
+        },
         "processes": sorted(site.proc.procs) if site.proc else [],
         "active_transactions": sorted(site.tx.txs) if site.tx else [],
     }
@@ -49,6 +62,9 @@ def cluster_report(cluster) -> Dict:
             "top_message_types": dict(
                 sorted(cluster.stats.sent.items(),
                        key=lambda kv: -kv[1])[:10]),
+            "pages_per_message": {
+                k: round(cluster.stats.pages_per_message(k), 2)
+                for k in sorted(cluster.stats.pages)},
         },
     }
 
@@ -66,5 +82,10 @@ def format_report(report: Dict) -> str:
             f"  site {s['site']} [{state} {s['cpu_type']}] "
             f"partition={s['partition']} packs={s['packs']} "
             f"open={s['open_us_handles']} procs={len(s['processes'])} "
-            f"cache_hit={s['cache']['hit_rate']}")
+            f"cache_hit={s['cache']['hit_rate']} "
+            f"name_hit={s['name_cache']['hit_rate']}")
+    ppm = report["network"].get("pages_per_message") or {}
+    if ppm:
+        lines.append("  pages/msg: " + "  ".join(
+            f"{k}={v}" for k, v in ppm.items()))
     return "\n".join(lines)

@@ -59,6 +59,21 @@ class CostModel:
     batch_pages: int = 1
     readahead_window: int = 1       # pages fetched ahead on sequential reads
     pull_pipeline: int = 1          # concurrent propagation-pull requests
+    # Batched write/commit flush: stage dirty pages at the US and ship them
+    # to a remote SS in fs.write_pages messages of up to batch_pages pages
+    # (one-way, like fs.write_page), flushing before every ordering point
+    # (commit, truncate, attribute change, close).  The commit request then
+    # carries the number of page writes shipped so a partially delivered
+    # batch can never half-commit.  Single-page flushes keep the paper's
+    # exact fs.write_page message.
+    batch_writes: bool = False
+    # Manifest-based heal pull: when the propagation queue holds several
+    # requests (a recovery sweep notifies once per behind file), ask each
+    # source for all of its files' attributes in one fs.pull_manifest RPC
+    # instead of one fs.pull_open round trip per file, then run up to
+    # pull_pipeline per-file pulls concurrently.  Files the manifest cannot
+    # vouch for fall back to the paper's per-file protocol.
+    pull_manifest: bool = False
     merge_sequential_poll: bool = False  # ablation: poll sites one by one
     # Ablation: disable the CSS single-open-for-modification policy; with
     # replication and no global synchronization, concurrent writers diverge

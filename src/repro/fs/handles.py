@@ -30,6 +30,14 @@ class UsHandle:
     dirty: bool = False
     closed: bool = False
     last_page: int = -2             # readahead: previous page read
+    # Write-behind state for the batched commit path (batch_writes): page
+    # images staged locally but not yet shipped to a remote SS, the size the
+    # next flush must carry, and a count of page writes shipped since the
+    # last commit/abort.  The commit request carries ``pages_sent`` so the
+    # SS can refuse to commit a partially delivered batch.
+    pending_writes: Dict[int, bytes] = field(default_factory=dict)
+    pending_size: int = 0
+    pages_sent: int = 0
 
     @property
     def size(self) -> int:
@@ -55,6 +63,10 @@ class SsOpen:
     unsync_users: Counter = field(default_factory=Counter)
     writer: Optional[int] = None
     page_holders: Dict[int, Set[int]] = field(default_factory=dict)
+    # Remote page writes applied since the last commit/abort; checked
+    # against the batched commit's expected count (lost one-way messages
+    # must fail the commit, never half-apply it).
+    pages_received: int = 0
 
     @property
     def total_users(self) -> int:

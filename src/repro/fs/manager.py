@@ -34,7 +34,7 @@ import itertools
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.errors import (EBADF, EBUSY, ECONFLICT, EINVAL, ENOENT, ESTALE,
-                          NetworkError, SiteDown)
+                          FsError, NetworkError, SiteDown)
 from repro.fs.handles import CssEntry, SsOpen, UsHandle
 from repro.fs.mount import MountTable
 from repro.fs.namespace import NamespaceMixin
@@ -80,6 +80,7 @@ class FsManager(PathMixin, NamespaceMixin):
         reg("fs.read_page", self.h_read_page)
         reg("fs.read_pages", self.h_read_pages)
         reg("fs.write_page", self.h_write_page)
+        reg("fs.write_pages", self.h_write_pages)
         reg("fs.truncate", self.h_truncate)
         reg("fs.set_attrs", self.h_set_attrs)
         reg("fs.commit", self.h_commit)
@@ -93,6 +94,7 @@ class FsManager(PathMixin, NamespaceMixin):
         reg("fs.delete_seen", self.h_delete_seen)
         reg("fs.fetch_attrs", self.h_fetch_attrs)
         reg("fs.pull_open", self.h_pull_open)
+        reg("fs.pull_manifest", self.h_pull_manifest)
         reg("fs.pull_read", self.h_pull_read)
         reg("fs.pull_read_range", self.h_pull_read_range)
         reg("fs.dir_version", self.h_dir_version)
@@ -494,6 +496,14 @@ class FsManager(PathMixin, NamespaceMixin):
                 raise EBADF(f"no storage-site state for {gfile}")
             data = yield from self._ss_read_block(so, page)
             return data
+        staged = handle.pending_writes.get(page)
+        if staged is not None:
+            # Write-behind (batch_writes): the handle's own staged page is
+            # the newest content; it may already have been evicted from the
+            # buffer cache, and the SS has not seen it yet.
+            yield from self.site.cpu(self.cost.buffer_hit)
+            handle.last_page = page
+            return staged
         key = self._page_key(gfile, page)
         cached = self.site.cache.get(key)
         if cached is not None:
@@ -728,17 +738,101 @@ class FsManager(PathMixin, NamespaceMixin):
                                             writer=self.sid)
             return
         self.site.cache.put(self._page_key(gfile, page), data)
+        if self.cost.batch_writes:
+            # Write-behind: stage the page and ship a full batch at once.
+            # FIFO circuits keep delivery order, and every ordering point
+            # (commit, truncate, attribute change, close) flushes first, so
+            # the SS sees the same operation sequence as the per-page
+            # protocol — just in fewer messages.
+            handle.pending_writes[page] = data
+            handle.pending_size = max(handle.pending_size, new_size)
+            if len(handle.pending_writes) >= max(1, self.cost.batch_pages):
+                yield from self._flush_writes(handle)
+            return
         # The write protocol is a single one-way message (section 2.3.5).
         yield from self.site.oneway(handle.ss_site, "fs.write_page", {
             "gfile": gfile, "page": page, "data": data, "size": new_size,
         })
 
+    def _flush_writes(self, handle: UsHandle) -> Generator:
+        """Ship the handle's staged pages to its remote SS in one-way
+        ``fs.write_pages`` chunks of up to ``batch_pages`` pages.  A chunk
+        of one page keeps the paper-exact ``fs.write_page`` message.  The
+        shipped count accumulates in ``handle.pages_sent``; the batched
+        commit carries it so a lost chunk can never half-commit."""
+        pending = handle.pending_writes
+        if not pending:
+            return None
+        pages = sorted(pending)
+        size = handle.pending_size
+        handle.pending_writes = {}
+        handle.pending_size = 0
+        batch = max(1, self.cost.batch_pages)
+        for i in range(0, len(pages), batch):
+            chunk = pages[i:i + batch]
+            if len(chunk) == 1:
+                yield from self.site.oneway(handle.ss_site, "fs.write_page", {
+                    "gfile": handle.gfile, "page": chunk[0],
+                    "data": pending[chunk[0]], "size": size,
+                })
+            else:
+                yield from self.site.oneway(handle.ss_site, "fs.write_pages", {
+                    "gfile": handle.gfile,
+                    "pages": {p: pending[p] for p in chunk},
+                    "size": size,
+                })
+                # Sender-side accounting: one-way messages have no response
+                # to carry the count back, and the receive handler runs
+                # after the sender's measurement window has closed.
+                self.site.net.stats.record_pages("fs.write_pages",
+                                                 len(chunk))
+            handle.pages_sent += len(chunk)
+        return None
+
     def h_write_page(self, src: int, p: dict) -> Generator:
         so = self.ss.get(p["gfile"])
         if so is None:
             return None  # stale write after close; drop (low-level ack only)
+        # Count before the cost yields inside _ss_apply_write so the
+        # counter and the shadow state move in the same atomic step; a
+        # commit handler task starting later (FIFO delivery) sees both.
+        so.pages_received += 1
         yield from self._ss_apply_write(so, p["page"], p["data"], p["size"],
                                         writer=src)
+        return None
+
+    def h_write_pages(self, src: int, p: dict) -> Generator:
+        """Batched one-way write: up to ``batch_pages`` staged page images
+        in one message (the write-behind flush of the batched commit path).
+        Page semantics match N ``fs.write_page`` messages exactly — same
+        shadow writes, same per-page disk cost, same cache updates, same
+        token revocations — only the per-message fixed costs (header,
+        latency, packet assembly) are paid once; the wire still charges for
+        the summed payload."""
+        so = self.ss.get(p["gfile"])
+        if so is None:
+            return None  # stale write after close; drop (low-level ack only)
+        pages = sorted(p["pages"])
+        # Every state change for the whole batch lands in one atomic step
+        # (no yields), matching _ss_apply_write's contract per page: a
+        # commit or abort handler interleaving at the cost yields below
+        # sees the entire batch applied, never a prefix of it.
+        for page in pages:
+            so.shadow.write_page(page, p["pages"][page])
+            self.site.cache.put(self._page_key(so.gfile, page),
+                                p["pages"][page])
+        so.shadow.set_size(max(so.shadow.incore.size, p["size"]))
+        so.pages_received += len(pages)
+        for page in pages:
+            yield from self.site.cpu(self.cost.disk_write)
+            holders = so.page_holders.setdefault(page, set())
+            for us in list(holders):
+                if us not in (src, self.sid):
+                    yield from self.site.oneway_quiet(us, "fs.invalidate", {
+                        "gfile": so.gfile, "page": page,
+                    })
+            holders.clear()
+            holders.add(src)
         return None
 
     def _ss_apply_write(self, so: SsOpen, page: int, data: bytes,
@@ -772,6 +866,12 @@ class FsManager(PathMixin, NamespaceMixin):
     def truncate(self, handle: UsHandle) -> Generator:
         if not handle.mode.writable:
             raise EBADF("truncate needs a write open")
+        if handle.pending_writes:
+            # Staged write-behind pages are about to be dropped by the
+            # truncate anyway; discarding them unsent leaves exactly the
+            # post-state the per-page protocol reaches.
+            handle.pending_writes.clear()
+            handle.pending_size = 0
         if handle.ss_site == self.sid:
             so = self.ss[handle.gfile]
             yield from self._ss_truncate(so)
@@ -811,6 +911,9 @@ class FsManager(PathMixin, NamespaceMixin):
         if handle.ss_site == self.sid:
             self.ss[handle.gfile].shadow.set_attrs(**patch)
         else:
+            # Keep the SS-side operation order of the per-page protocol:
+            # staged pages precede the attribute change on the wire.
+            yield from self._flush_writes(handle)
             yield from self.site.rpc(handle.ss_site, "fs.set_attrs", {
                 "gfile": handle.gfile, "patch": patch,
             })
@@ -839,8 +942,16 @@ class FsManager(PathMixin, NamespaceMixin):
         if handle.ss_site == self.sid:
             vv = yield from self._ss_commit(handle.gfile)
         else:
+            payload = {"gfile": handle.gfile}
+            if self.cost.batch_writes:
+                # Flush the write-behind remainder, then tell the SS how
+                # many page writes it must have received: a batch lost to a
+                # closed circuit fails the commit instead of half-applying.
+                yield from self._flush_writes(handle)
+                payload["expected_pages"] = handle.pages_sent
             vv = yield from self.site.rpc(handle.ss_site, "fs.commit",
-                                          {"gfile": handle.gfile})
+                                          payload)
+        handle.pages_sent = 0
         handle.dirty = False
         handle.attrs["version"] = vv
         return vv
@@ -849,6 +960,9 @@ class FsManager(PathMixin, NamespaceMixin):
         """Undo changes back to the previous commit point."""
         if handle.closed:
             raise EBADF("abort on closed handle")
+        handle.pending_writes.clear()
+        handle.pending_size = 0
+        handle.pages_sent = 0
         if handle.ss_site == self.sid:
             yield from self._ss_abort(handle.gfile)
         else:
@@ -861,6 +975,19 @@ class FsManager(PathMixin, NamespaceMixin):
         return None
 
     def h_commit(self, src: int, p: dict) -> Generator:
+        expected = p.get("expected_pages")
+        if expected is not None:
+            so = self.ss.get(p["gfile"])
+            if so is not None and so.pages_received != expected:
+                # A write-behind batch was partially delivered (a lost
+                # one-way fs.write_pages closed the circuit, and this
+                # commit reopened it).  Never half-commit: drop the staged
+                # state and fail the commit back to the US.
+                received = so.pages_received
+                yield from self._ss_abort(p["gfile"])
+                raise FsError(
+                    f"commit of {p['gfile']} expected {expected} staged "
+                    f"page writes, storage site received {received}")
         vv = yield from self._ss_commit(p["gfile"])
         return vv
 
@@ -874,6 +1001,7 @@ class FsManager(PathMixin, NamespaceMixin):
             raise EBADF(f"{gfile} not open at storage site {self.sid}")
         pages_changed = so.shadow.shadowed_pages
         vv = so.shadow.commit(mtime=self.site.sim.now)
+        so.pages_received = 0
         yield from self.site.cpu(self.cost.disk_write)  # the inode write
         # Committed-view pages cached before this commit are now stale.
         self.site.cache.invalidate_committed(*gfile)
@@ -887,6 +1015,7 @@ class FsManager(PathMixin, NamespaceMixin):
         if so is None:
             raise EBADF(f"{gfile} not open at storage site {self.sid}")
         so.shadow.abort()
+        so.pages_received = 0
         self.site.cache.invalidate_file(*gfile)
         yield from self.site.cpu(self.cost.buffer_hit)
         return None
@@ -1183,6 +1312,22 @@ class FsManager(PathMixin, NamespaceMixin):
             raise ENOENT(f"{p['gfile']} has no data at site {self.sid}")
         yield from self.site.cpu(self.cost.buffer_hit)
         return inode.attrs()
+
+    def h_pull_manifest(self, src: int, p: dict) -> Generator:
+        """One RPC replacing N ``fs.pull_open`` round trips after a heal:
+        the attributes (version vector included) of every requested file
+        this site can serve as a propagation source.  Files it cannot
+        vouch for (no data here, or deleted) are omitted from the reply —
+        the puller falls back to the paper's per-file ``fs.pull_open`` for
+        those, exactly as if this site had answered ENOENT."""
+        out: Dict[Gfile, dict] = {}
+        for gfile in p["gfiles"]:
+            inode = self.local_inode(gfile)
+            if inode is None or not inode.has_data or inode.deleted:
+                continue
+            yield from self.site.cpu(self.cost.buffer_hit)
+            out[gfile] = inode.attrs()
+        return {"files": out}
 
     def h_pull_read(self, src: int, p: dict) -> Generator:
         """Serve one *committed* page to a propagation pull.

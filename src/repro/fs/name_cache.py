@@ -43,6 +43,9 @@ class NameCacheStats:
     fills: int = 0
     invalidations: int = 0
     stale_drops: int = 0     # lookups that failed version validation
+    neg_hits: int = 0        # validated known-absent answers served
+    neg_fills: int = 0       # ENOENT results remembered
+    neg_stale_drops: int = 0  # negative entries that failed validation
 
     @property
     def hit_rate(self) -> float:
@@ -64,6 +67,12 @@ class NameCache:
             raise ValueError("name cache capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[Gfile, _NameEntry]" = OrderedDict()
+        # Negative entries: (directory, name) -> the directory version the
+        # name was proven absent from.  Validated exactly like positive
+        # entries (vv equality against the same authority), so a cached
+        # ENOENT can never survive the commit that created the name.
+        self._negative: "OrderedDict[Tuple[Gfile, str], VersionVector]" = \
+            OrderedDict()
         self.stats = NameCacheStats()
 
     # -- lookup ----------------------------------------------------------
@@ -91,6 +100,30 @@ class NameCache:
         self.stats.hits += 1
         return self.copy_entries(cached.entries)
 
+    def peek_negative(self, gfile: Gfile, name: str) -> bool:
+        """Membership check without validation or stats counting; a True
+        answer still needs :meth:`get_negative` against the authority's
+        current version before it may be believed."""
+        return (gfile, name) in self._negative
+
+    def get_negative(self, gfile: Gfile, name: str,
+                     version: VersionVector) -> bool:
+        """Validated known-absent lookup: True iff ``name`` was proven
+        absent from exactly the committed directory content identified by
+        ``version``."""
+        key = (gfile, name)
+        cached = self._negative.get(key)
+        if cached is None:
+            return False
+        if cached != version:
+            # The directory moved on; the proof of absence is dead weight.
+            self._negative.pop(key, None)
+            self.stats.neg_stale_drops += 1
+            return False
+        self._negative.move_to_end(key)
+        self.stats.neg_hits += 1
+        return True
+
     @staticmethod
     def copy_entries(entries) -> List[DirEntry]:
         """Fresh ``DirEntry`` objects: callers may mutate their view."""
@@ -109,8 +142,20 @@ class NameCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def put_negative(self, gfile: Gfile, name: str,
+                     version: VersionVector) -> None:
+        self._negative[(gfile, name)] = version.copy()
+        self._negative.move_to_end((gfile, name))
+        self.stats.neg_fills += 1
+        while len(self._negative) > self.capacity:
+            self._negative.popitem(last=False)
+
     def invalidate_file(self, gfs: int, ino: int) -> bool:
-        if self._entries.pop((gfs, ino), None) is not None:
+        dropped = self._entries.pop((gfs, ino), None) is not None
+        stale = [k for k in self._negative if k[0] == (gfs, ino)]
+        for k in stale:
+            del self._negative[k]
+        if dropped or stale:
             self.stats.invalidations += 1
             return True
         return False
@@ -119,6 +164,7 @@ class NameCache:
         if self._entries:
             self.stats.invalidations += len(self._entries)
         self._entries.clear()
+        self._negative.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

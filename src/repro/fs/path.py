@@ -106,6 +106,28 @@ class PathMixin:
         return {"version": latest, "deleted": attrs["deleted"],
                 "conflict": attrs["conflict"]}
 
+    def _negative_lookup(self, gfile: Gfile, name: str) -> Generator:
+        """Validated cached-ENOENT probe: True iff ``name`` was absent from
+        exactly the committed directory version the authority (the same one
+        the positive cache consults) reports right now."""
+        nc = self.site.name_cache
+        if not nc.peek_negative(gfile, name):
+            return False
+        version = yield from self._dir_cache_version(gfile)
+        if version is None:
+            return False
+        return nc.get_negative(gfile, name, version)
+
+    def _negative_fill(self, gfile: Gfile, name: str) -> None:
+        """Remember a lookup miss, keyed to the directory version the just
+        -decoded entries were verified against.  If that verification
+        failed (no positive entry landed), the absence proof is skipped —
+        a negative entry must never outlive its version check."""
+        nc = self.site.name_cache
+        cached = nc.peek(gfile)
+        if cached is not None:
+            nc.put_negative(gfile, name, cached.version)
+
     def _name_cache_lookup(self, gfile: Gfile) -> Generator:
         """Validated name-cache probe; returns the entries or None."""
         nc = self.site.name_cache
@@ -244,10 +266,18 @@ class PathMixin:
                     return None, None, Leaf(current, FileType.DIRECTORY)
                 i += 1
                 continue
+            if self.cost.name_cache:
+                absent = yield from self._negative_lookup(current, comp)
+                if absent:
+                    if last:
+                        return current, comp, None
+                    raise ENOENT(f"{comp!r} in path {path!r}")
             entries = yield from self.read_dir_entries(current)
             view = DirView(entries)
             entry = view.lookup(comp)
             if entry is None:
+                if self.cost.name_cache:
+                    self._negative_fill(current, comp)
                 if last:
                     return current, comp, None
                 raise ENOENT(f"{comp!r} in path {path!r}")

@@ -7,12 +7,20 @@ sent out to secondary storage ...  Note also that this propagation-in
 procedure uses the standard commit mechanism, so if contact is lost with the
 site containing the newer version, the local site is still left with a
 coherent, complete copy of the file, albeit still out of date."
+
+With ``CostModel.pull_manifest`` on, a backlog of queued requests (a
+recovery sweep after a partition heal sends one ``fs.notify`` per behind
+file) is serviced as a batch: one ``fs.pull_manifest`` RPC per source
+replaces that source's per-file ``fs.pull_open`` round trips, and up to
+``pull_pipeline`` per-file pulls run concurrently.  Any file the manifest
+cannot vouch for falls back to the paper's per-file protocol, and every
+pull still installs through the standard shadow-page commit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Set
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.errors import FsError, NetworkError
 from repro.fs.types import Gfile
@@ -38,6 +46,9 @@ class PropStats:
     failed: int = 0
     range_requests: int = 0     # batched fs.pull_read_range messages issued
     pipelined_rounds: int = 0   # rounds with >1 range request in flight
+    manifest_requests: int = 0  # fs.pull_manifest RPCs issued
+    manifest_hits: int = 0      # per-file fs.pull_open round trips avoided
+    sync_waits: int = 0         # sequential round-trip waits in the pull path
 
 
 @dataclass
@@ -81,6 +92,7 @@ class Propagator:
         self.queue = SimQueue(self.site.sim,
                               name=f"prop@{self.site.site_id}")
         self._pending.clear()
+        self._pulling.clear()   # in-flight pull tasks died with the site
         self._task = None
 
     def is_pending(self, gfile: Gfile) -> bool:
@@ -107,71 +119,198 @@ class Propagator:
     def _run(self) -> Generator:
         while True:
             req = yield from self.queue.get()
-            try:
-                yield from self._service(req)
-            except NetworkError:
-                # Contact lost mid-pull: the shadow mechanism already left a
-                # coherent old copy.  Retry later — the source (or another
-                # holder) may come back; the recovery sweep also covers us
-                # at the next membership change.
-                self.stats.failed += 1
-                self._pulling.discard(req.gfile)
-                req.deferrals += 1
-                if req.deferrals <= _MAX_DEFERRALS:
-                    self.site.sim.schedule(_DEFER_DELAY * req.deferrals,
-                                           self.queue.put, req)
-                else:
-                    self._pending.discard(req.gfile)
-            except FsError:
-                self.stats.failed += 1
-                self._pulling.discard(req.gfile)
-                self._pending.discard(req.gfile)
+            if self.fs.cost.pull_manifest and len(self.queue):
+                batch = [req] + self.queue.drain()
+                yield from self._service_batch(batch)
+                continue
+            yield from self._service_one(req)
 
-    def _service(self, req: _Request) -> Generator:
+    def _service_one(self, req: _Request) -> Generator:
+        try:
+            yield from self._service(req)
+        except NetworkError:
+            self._retry_later(req)
+        except FsError:
+            self.stats.failed += 1
+            self._pulling.discard(req.gfile)
+            self._pending.discard(req.gfile)
+
+    def _retry_later(self, req: _Request) -> None:
+        """Contact lost mid-pull: the shadow mechanism already left a
+        coherent old copy.  Retry later — the source (or another holder)
+        may come back; the recovery sweep also covers us at the next
+        membership change."""
+        self.stats.failed += 1
+        self._pulling.discard(req.gfile)
+        req.deferrals += 1
+        if req.deferrals <= _MAX_DEFERRALS:
+            self.site.sim.schedule(_DEFER_DELAY * req.deferrals,
+                                   self.queue.put, req)
+        else:
+            self._pending.discard(req.gfile)
+
+    def _defer(self, req: _Request) -> None:
+        """The file is busy locally; retry once the activity drains."""
+        req.deferrals += 1
+        self.stats.deferred += 1
+        if req.deferrals <= _MAX_DEFERRALS:
+            self.site.sim.schedule(_DEFER_DELAY, self.queue.put, req)
+        else:
+            self._pending.discard(req.gfile)
+
+    def _precheck(self, req: _Request) -> str:
+        """'skip' (nothing to pull into), 'defer' (busy locally), or
+        'pull'."""
         fs = self.fs
         gfile = req.gfile
         pack = fs.local_pack(gfile[0])
         inode = pack.get_inode(gfile[1]) if pack else None
         if inode is None:
-            self.stats.skipped += 1
-            self._pending.discard(gfile)
-            return None
+            return "skip"
         if (inode.deleted or not inode.has_data) and \
                 self.site.site_id not in req.attrs["storage_sites"]:
             # Not a resurrection target; nothing to pull into.
-            self.stats.skipped += 1
-            self._pending.discard(gfile)
-            return None
+            return "skip"
         target_vv: VersionVector = req.attrs["version"]
         if inode.version.dominates(target_vv):
-            self.stats.skipped += 1
-            self._pending.discard(gfile)
-            return None
+            return "skip"
         if inode.version.conflicts(target_vv):
             # Divergent histories cannot be propagated over; recovery's
             # type-specific merge handles this (section 4).
-            self.stats.skipped += 1
-            self._pending.discard(gfile)
-            return None
+            return "skip"
         if gfile in fs.ss:
             # The file is open locally; retry once the activity drains.
-            req.deferrals += 1
-            self.stats.deferred += 1
-            if req.deferrals <= _MAX_DEFERRALS:
-                self.site.sim.schedule(_DEFER_DELAY, self.queue.put, req)
-            else:
-                self._pending.discard(gfile)
+            return "defer"
+        return "pull"
+
+    def _service(self, req: _Request) -> Generator:
+        verdict = self._precheck(req)
+        if verdict == "skip":
+            self.stats.skipped += 1
+            self._pending.discard(req.gfile)
             return None
-        yield from self._pull(req, pack, inode.version)
-        self._pending.discard(gfile)
+        if verdict == "defer":
+            self._defer(req)
+            return None
+        pack = self.fs.local_pack(req.gfile[0])
+        yield from self._pull(req, pack, pack.get_inode(req.gfile[1]).version)
+        self._pending.discard(req.gfile)
         return None
 
-    def _pull(self, req: _Request, pack, local_vv: VersionVector) -> Generator:
+    # -- manifest batch service (CostModel.pull_manifest) ------------------
+
+    def _service_batch(self, batch: List[_Request]) -> Generator:
+        """Service a drained queue backlog with one ``fs.pull_manifest``
+        round trip per source site and up to ``pull_pipeline`` per-file
+        pulls in flight.  Each file keeps the serial path's retry/defer
+        policy; only the round-trip count changes."""
+        pull: List[_Request] = []
+        chosen: Dict[Gfile, _Request] = {}
+        for req in batch:
+            verdict = self._precheck(req)
+            if verdict == "skip":
+                self.stats.skipped += 1
+                self._pending.discard(req.gfile)
+            elif verdict == "defer":
+                self._defer(req)
+            else:
+                prev = chosen.get(req.gfile)
+                if prev is None:
+                    chosen[req.gfile] = req
+                    pull.append(req)
+                elif req.attrs["version"].dominates(prev.attrs["version"]):
+                    # Duplicate notifies for one file: pull the newest
+                    # announced version once, not the file twice at once.
+                    pull[pull.index(prev)] = req
+                    chosen[req.gfile] = req
+                else:
+                    self.stats.skipped += 1
+        if not pull:
+            return None
+        by_hint: Dict[int, List[_Request]] = {}
+        for req in pull:
+            by_hint.setdefault(req.hint, []).append(req)
+        manifests: Dict[int, Dict[Gfile, dict]] = {}
+        for hint in sorted(by_hint):
+            self.stats.manifest_requests += 1
+            self.stats.sync_waits += 1
+            try:
+                resp = yield from self.site.rpc(hint, "fs.pull_manifest", {
+                    "gfiles": [r.gfile for r in by_hint[hint]],
+                })
+            except (FsError, NetworkError):
+                continue   # per-file fs.pull_open fallback below
+            manifests[hint] = resp["files"]
+        depth = max(1, self.fs.cost.pull_pipeline)
+        for i in range(0, len(pull), depth):
+            wave = pull[i:i + depth]
+            tasks = [self.site.spawn(
+                self._pull_task(req, manifests.get(req.hint, {})),
+                name=f"manifestpull:{req.gfile}") for req in wave]
+            rounds = yield self.site.sim.gather([t.done for t in tasks],
+                                                label="manifestwave")
+            # The wave's pulls run concurrently: its critical path is the
+            # *deepest* member's sequential round count, not their sum.
+            self.stats.sync_waits += max(
+                [r for r in rounds if r] + [1])
+        return None
+
+    def _pull_task(self, req: _Request,
+                   manifest: Dict[Gfile, dict]) -> Generator:
+        """One file's pull inside a manifest wave, wrapped in the same
+        error policy the serial kernel process applies.  Returns the
+        number of sequential round-trip waits the pull performed, so the
+        wave accounting above can take the max across the wave."""
+        source = None
+        attrs = manifest.get(req.gfile)
+        if attrs is not None and attrs["version"].dominates(
+                req.attrs["version"]):
+            source = (req.hint, attrs)
+            self.stats.manifest_hits += 1
+        waits = [0]
+        try:
+            pack = self.fs.local_pack(req.gfile[0])
+            inode = pack.get_inode(req.gfile[1]) if pack else None
+            if inode is None:
+                self.stats.skipped += 1
+                self._pending.discard(req.gfile)
+                return waits[0]
+            yield from self._pull(req, pack, inode.version,
+                                  manifest_source=source, waits=waits)
+            self._pending.discard(req.gfile)
+        except NetworkError:
+            self._retry_later(req)
+        except FsError:
+            self.stats.failed += 1
+            self._pulling.discard(req.gfile)
+            self._pending.discard(req.gfile)
+        return waits[0]
+
+    # -- the pull itself ----------------------------------------------------
+
+    def _count_wait(self, waits: Optional[List[int]]) -> None:
+        """One sequential round-trip wait.  Serial pulls count straight
+        into the stats; pulls inside a manifest wave accumulate into the
+        wave's ``waits`` sink, which the wave reduces with ``max`` (its
+        members wait concurrently, not back to back)."""
+        if waits is None:
+            self.stats.sync_waits += 1
+        else:
+            waits[0] += 1
+
+    def _pull(self, req: _Request, pack, local_vv: VersionVector,
+              manifest_source: Optional[Tuple[int, dict]] = None,
+              waits: Optional[List[int]] = None) -> Generator:
         """Internally open the file at a site with the latest version and
         page the changes (or the whole file) across."""
         fs = self.fs
         gfile = req.gfile
-        source, remote_attrs = yield from self._open_source(req)
+        if manifest_source is not None:
+            # The manifest already vouched for the source's version: the
+            # per-file fs.pull_open round trip is unnecessary.
+            source, remote_attrs = manifest_source
+        else:
+            source, remote_attrs = yield from self._open_source(req, waits)
         target_vv = remote_attrs["version"]
         if local_vv.dominates(target_vv):
             self.stats.skipped += 1
@@ -203,7 +342,8 @@ class Propagator:
         try:
             if not delta_ok:
                 shadow.truncate()
-            yield from self._pull_pages(source, gfile, pull_pages, shadow)
+            yield from self._pull_pages(source, gfile, pull_pages, shadow,
+                                        waits)
             if gfile in fs.ss:
                 # A local open slipped in before the pull gate existed (or
                 # via an unsynchronized path): committing now would be
@@ -231,7 +371,8 @@ class Propagator:
         return None
 
     def _pull_pages(self, source: int, gfile: Gfile, pages: List[int],
-                    shadow: ShadowFile) -> Generator:
+                    shadow: ShadowFile,
+                    waits: Optional[List[int]] = None) -> Generator:
         """Page the data across from ``source`` into ``shadow``.
 
         The paper's protocol is one ``fs.pull_read`` round trip per page.
@@ -247,6 +388,7 @@ class Propagator:
         depth = max(1, fs.cost.pull_pipeline)
         if batch == 1 and depth == 1:
             for page in pages:
+                self._count_wait(waits)
                 data = yield from self.site.rpc(source, "fs.pull_read", {
                     "gfile": gfile, "page": page,
                 })
@@ -262,6 +404,7 @@ class Propagator:
                      for chunk in in_flight]
             if len(tasks) > 1:
                 self.stats.pipelined_rounds += 1
+            self._count_wait(waits)
             results = yield self.site.sim.gather(
                 [t.done for t in tasks], label=f"pullround:{gfile}")
             for fetched in results:
@@ -285,7 +428,8 @@ class Propagator:
         })
         return resp["pages"]
 
-    def _open_source(self, req: _Request) -> Generator:
+    def _open_source(self, req: _Request,
+                     waits: Optional[List[int]] = None) -> Generator:
         """Find a site holding the (at least) announced version."""
         fs = self.fs
         candidates = [req.hint] + [
@@ -293,6 +437,7 @@ class Propagator:
             if s not in (req.hint, self.site.site_id)]
         last_exc: Optional[Exception] = None
         for cand in candidates:
+            self._count_wait(waits)
             try:
                 attrs = yield from self.site.rpc(cand, "fs.pull_open",
                                                  {"gfile": req.gfile})

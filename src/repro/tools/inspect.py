@@ -36,12 +36,22 @@ def site_report(site) -> Dict:
             "fills": site.name_cache.stats.fills,
             "stale_drops": site.name_cache.stats.stale_drops,
             "invalidations": site.name_cache.stats.invalidations,
+            "neg_hits": site.name_cache.stats.neg_hits,
+            "neg_fills": site.name_cache.stats.neg_fills,
         },
         "propagation": {
             "pulls": fs.propagator.stats.pulls,
             "pages_pulled": fs.propagator.stats.pages_pulled,
             "range_requests": fs.propagator.stats.range_requests,
             "pipelined_rounds": fs.propagator.stats.pipelined_rounds,
+            "manifest_requests": fs.propagator.stats.manifest_requests,
+            "manifest_hits": fs.propagator.stats.manifest_hits,
+            "sync_waits": fs.propagator.stats.sync_waits,
+        },
+        "write_behind": {
+            "staged_pages": sum(len(h.pending_writes)
+                                for h in fs.us.values()),
+            "pages_sent_unacked": sum(h.pages_sent for h in fs.us.values()),
         },
         "processes": sorted(site.proc.procs) if site.proc else [],
         "active_transactions": sorted(site.tx.txs) if site.tx else [],

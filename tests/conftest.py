@@ -1,8 +1,54 @@
-"""Shared fixtures for the LOCUS reproduction test suite."""
+"""Shared fixtures for the LOCUS reproduction test suite.
+
+``LOCUS_COST_FLAGS`` (used by the CI matrix) applies CostModel overrides
+to every cluster a test builds with the *default* cost, so the
+consistency suites re-run under the optimisation flags without editing
+any test.  Clusters built with an explicit CostModel keep it — tests
+that pin exact message counts stay pinned.  Example::
+
+    LOCUS_COST_FLAGS="batch_writes=1,pull_manifest=1,batch_pages=4" \
+        pytest tests/
+"""
+
+import os
 
 import pytest
 
 from repro import LocusCluster
+from repro.config import CostModel
+
+
+def _env_cost_overrides():
+    defaults = CostModel()
+    out = {}
+    for part in os.environ.get("LOCUS_COST_FLAGS", "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, __, val = part.partition("=")
+        key, val = key.strip(), (val.strip() or "1")
+        current = getattr(defaults, key)     # unknown keys fail loudly
+        if isinstance(current, bool):
+            out[key] = val.lower() in ("1", "true", "yes", "on")
+        elif isinstance(current, int):
+            out[key] = int(val)
+        else:
+            out[key] = float(val)
+    return out
+
+
+_OVERRIDES = _env_cost_overrides()
+if _OVERRIDES:
+    _orig_init = LocusCluster.__init__
+
+    def _flagged_init(self, n_sites=3, seed=0, cost=None, config=None,
+                      root_pack_sites=None):
+        if cost is None and config is None:
+            cost = CostModel().with_overrides(**_OVERRIDES)
+        _orig_init(self, n_sites=n_sites, seed=seed, cost=cost,
+                   config=config, root_pack_sites=root_pack_sites)
+
+    LocusCluster.__init__ = _flagged_init
 
 
 @pytest.fixture

@@ -139,6 +139,70 @@ class TestBatchedPull:
         assert vtime_on * 2 <= vtime_off, (vtime_on, vtime_off)
 
 
+class TestWriteBatchCostModel:
+    """Pin the cost accounting that makes T15's on/off deltas attributable:
+    the per-page write path pays the per-message fixed cost (latency +
+    header serialization + packet assembly) once *per page*, while one
+    ``fs.write_pages`` batch pays it once per message and charges wire
+    time on the summed payload."""
+
+    def test_message_delay_arithmetic(self):
+        cost = CostModel()
+        for n in (0, 1, 1024, 4096):
+            assert cost.message_delay(n) == (
+                cost.net_latency
+                + (n + cost.msg_header_bytes) * cost.net_per_byte)
+
+    def test_staged_flush_is_one_message_with_summed_payload(self):
+        psz = CostModel().page_size
+        cluster = _cluster(batch_writes=True, batch_pages=4)
+        attrs = _make_remote_file(cluster, "/f", b"0" * (4 * psz))
+        site1 = cluster.site(1)
+        from repro.fs.types import Mode
+        handle = cluster.call(
+            1, site1.fs.open_gfile((0, attrs["ino"]), Mode.WRITE))
+        win = StatsWindow(cluster.stats)
+        for p in range(4):
+            cluster.call(1, site1.fs.write(handle, p * psz,
+                                           bytes([p]) * psz))
+        snap = win.close()
+        # Four whole-page writes, batch_pages=4: exactly one flush message.
+        assert snap.sent.get("fs.write_pages", 0) == 1
+        assert "fs.write_page" not in snap.sent
+        assert cluster.stats.pages_per_message("fs.write_pages") == 4.0
+        # The wire charges the summed page payload (plus small framing):
+        # the batch can never smuggle data past the byte-time model.
+        assert snap.total_bytes >= 4 * psz
+        cluster.call(1, site1.fs.commit(handle))
+        cluster.call(1, site1.fs.close(handle))
+        cluster.settle()
+        assert cluster.shell(0).read_file("/f") == b"".join(
+            bytes([p]) * psz for p in range(4))
+
+    def test_fixed_cost_paid_once_per_message_not_per_page(self):
+        """The attributable delta: batching 4 pages into one message saves
+        exactly 3 per-message fixed costs of wire time (the payload bytes
+        still pay full fare)."""
+        cost = CostModel()
+        psz = cost.page_size
+        fixed = cost.message_delay(0)
+        four_singles = 4 * cost.message_delay(psz)
+        one_batch = cost.message_delay(4 * psz)
+        assert one_batch == pytest.approx(
+            four_singles - 3 * fixed)
+
+    def test_single_page_flush_keeps_paper_message(self):
+        """A one-page flush must stay on the paper-exact fs.write_page
+        wire format (no batched framing for the degenerate case)."""
+        cluster = _cluster(batch_writes=True, batch_pages=4)
+        win = StatsWindow(cluster.stats)
+        cluster.shell(1).write_file("/one", b"q" * 100)
+        cluster.settle()
+        snap = win.close()
+        assert "fs.write_pages" not in snap.sent
+        assert snap.sent.get("fs.write_page", 0) >= 1
+
+
 class TestBufferCacheIndex:
     """The per-file key index must mirror the page map through every
     mutation path, including LRU eviction (the old whole-cache scans are

@@ -8,6 +8,7 @@ and reconfiguration churn — never as silent inconsistency.
 import pytest
 
 from repro import LocusCluster
+from repro.config import CostModel
 from repro.errors import EMFILE, LocusError
 from repro.tools import fsck
 
@@ -98,4 +99,161 @@ class TestCrashDuringProtocols:
         names = set(sh0.readdir("/d"))
         # Either the update committed fully or not at all.
         assert names in ({"before"}, {"before", "during"})
+        assert fsck(cluster).clean
+
+
+def _drop_next(net, mtype, count=1):
+    """Lose the next ``count`` messages of ``mtype``; each loss closes the
+    virtual circuit exactly as the paper's model prescribes (section 5.1)."""
+    orig_send = net.send
+    state = {"dropped": 0}
+
+    def send(src, dst, msg):
+        if msg.mtype == mtype and state["dropped"] < count:
+            state["dropped"] += 1
+            net.stats.record_send(msg.stat_key(), msg.size)
+            net.stats.dropped += 1
+            net._close_circuit(frozenset((src, dst)), "message lost")
+            return
+        orig_send(src, dst, msg)
+
+    net.send = send
+    return state
+
+
+class TestBatchedWriteFaults:
+    """The write-behind flush (CostModel.batch_writes) under faults: a
+    staged batch that only partially reaches the storage site must abort,
+    never half-commit."""
+
+    def _batched(self, seed=301):
+        return LocusCluster(
+            n_sites=2, seed=seed, root_pack_sites=[0],
+            cost=CostModel().with_overrides(batch_writes=True,
+                                            batch_pages=4))
+
+    def test_us_crash_mid_staged_write_aborts_cleanly(self):
+        """The using site dies between flushing staged chunks and the
+        commit: the storage site must discard the shadow pages and keep
+        the old content."""
+        cluster = self._batched()
+        sh0, sh1 = cluster.shell(0), cluster.shell(1)
+        old = b"old" * 1500
+        sh1.write_file("/w", old)
+        cluster.settle()
+        fs1 = cluster.site(1).fs
+
+        def half_op():
+            from repro.fs.types import Mode
+            gfile, __ = yield from fs1.resolve_gfile(None, "/w")
+            handle = yield from fs1.open_gfile(gfile, Mode.WRITE)
+            yield from fs1.write(handle, 0, b"NEW" * 4000)
+            yield 10_000_000.0          # never reaches the commit
+
+        cluster.spawn(1, half_op())
+        cluster.sim.run(until=cluster.sim.now + 50)
+        cluster.fail_site(1)            # the writer dies mid-protocol
+        cluster.settle()
+        assert sh0.read_file("/w") == old
+        cluster.restart_site(1)
+        cluster.settle()
+        assert cluster.shell(1).read_file("/w") == old
+        assert fsck(cluster).clean
+
+    def test_lossy_network_with_batching_never_corrupts(self):
+        """The TestMessageLoss invariant, batched edition: 5% loss with
+        both batching flags on may fail individual operations but must
+        never leave corruption or divergence once the weather clears."""
+        cluster = LocusCluster(
+            n_sites=3, seed=302,
+            cost=CostModel().with_overrides(
+                batch_writes=True, pull_manifest=True,
+                batch_pages=4, pull_pipeline=4))
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/survivor", b"gen 0")
+        cluster.settle()
+        cluster.net.loss_rate = 0.05
+        completed = 0
+        for i in range(30):
+            writer = cluster.shell(i % 3)
+            try:
+                writer.write_file(f"/f{i % 5}", (f"gen {i}" * 40).encode())
+                completed += 1
+            except LocusError:
+                pass
+            cluster.settle(max_time=2000)
+        assert completed > 0
+        cluster.net.loss_rate = 0.0
+        cluster.heal()
+        cluster.settle()
+        from repro.tools import fsck_repair
+        report = fsck_repair(cluster)
+        assert report.clean, report.summary()
+        assert sh.read_file("/survivor") == b"gen 0"
+
+
+class TestManifestPullFaults:
+    """The manifest heal path (CostModel.pull_manifest) under faults: a
+    lost manifest or a lost pull falls back / retries from the queue, and
+    the cluster still converges."""
+
+    def _diverged(self, seed, n_files=8):
+        cluster = LocusCluster(
+            n_sites=2, seed=seed,
+            cost=CostModel().with_overrides(pull_manifest=True,
+                                            pull_pipeline=4,
+                                            batch_pages=4))
+        sh0 = cluster.shell(0)
+        sh0.setcopies(2)
+        for i in range(n_files):
+            sh0.write_file(f"/m{i}", b"a" * 100)
+        cluster.settle()
+        cluster.partition({0}, {1})
+        for i in range(n_files):
+            sh0.write_file(f"/m{i}", bytes([i + 1]) * 300)
+        return cluster, n_files
+
+    def test_lost_manifest_falls_back_to_per_file_pulls(self):
+        """Losing the fs.pull_manifest RPC must not stall the heal: every
+        file still arrives through the per-file fs.pull_open protocol."""
+        cluster, n = self._diverged(seed=303)
+        state = _drop_next(cluster.net, "fs.pull_manifest", count=1)
+        cluster.heal()
+        cluster.settle()
+        assert state["dropped"] == 1, "fault never fired"
+        sh1 = cluster.shell(1)
+        for i in range(n):
+            assert sh1.read_file(f"/m{i}") == bytes([i + 1]) * 300
+        assert fsck(cluster).clean
+
+    def test_lost_pull_mid_wave_retries_from_queue(self):
+        """A pull-read lost inside a manifest wave closes the circuit;
+        the affected file is requeued and retried — not forgotten, and
+        the heal does not restart from scratch."""
+        cluster, n = self._diverged(seed=304)
+        state = _drop_next(cluster.net, "fs.pull_read_range", count=1)
+        cluster.heal()
+        cluster.settle()
+        assert state["dropped"] == 1, "fault never fired"
+        sh1 = cluster.shell(1)
+        for i in range(n):
+            assert sh1.read_file(f"/m{i}") == bytes([i + 1]) * 300
+        prop = cluster.site(1).fs.propagator.stats
+        assert prop.failed >= 1          # the loss was seen and retried
+        assert fsck(cluster).clean
+
+    def test_source_crash_mid_heal_recovers_after_restart(self):
+        """The only source site dies mid-heal: pulls defer, and once it
+        returns the propagation queue drains to convergence."""
+        cluster, n = self._diverged(seed=305)
+        cluster.heal(settle=False)
+        cluster.sim.run(until=cluster.sim.now + 30)   # heal underway
+        cluster.fail_site(0)
+        cluster.settle(max_time=20000)
+        cluster.restart_site(0)
+        cluster.settle(max_time=50000)
+        sh1 = cluster.shell(1)
+        for i in range(n):
+            assert sh1.read_file(f"/m{i}") == bytes([i + 1]) * 300
         assert fsck(cluster).clean

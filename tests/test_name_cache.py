@@ -81,6 +81,44 @@ class TestNameCacheUnit:
         assert (0, 6) not in site.name_cache
 
 
+class TestNegativeEntriesUnit:
+    def test_get_negative_requires_exact_version(self):
+        nc = NameCache(4)
+        nc.put_negative((1, 2), "gone", _vv(0))
+        assert nc.peek_negative((1, 2), "gone")
+        assert nc.get_negative((1, 2), "gone", _vv(0)) is True
+        assert nc.stats.neg_hits == 1
+        # The directory moved on: the proof of absence dies.
+        assert nc.get_negative((1, 2), "gone", _vv(0, 2)) is False
+        assert not nc.peek_negative((1, 2), "gone")
+        assert nc.stats.neg_stale_drops == 1
+
+    def test_invalidate_file_drops_negatives_too(self):
+        nc = NameCache(4)
+        nc.put_negative((1, 2), "a", _vv(0))
+        nc.put_negative((1, 2), "b", _vv(0))
+        nc.put_negative((1, 3), "c", _vv(0))
+        assert nc.invalidate_file(1, 2) is True
+        assert not nc.peek_negative((1, 2), "a")
+        assert not nc.peek_negative((1, 2), "b")
+        assert nc.peek_negative((1, 3), "c")     # other dir untouched
+        nc.clear()
+        assert not nc.peek_negative((1, 3), "c")
+
+    def test_negative_entries_are_capacity_bounded(self):
+        nc = NameCache(2)
+        for i in range(5):
+            nc.put_negative((1, 2), f"n{i}", _vv(0))
+        assert sum(nc.peek_negative((1, 2), f"n{i}")
+                   for i in range(5)) == 2
+
+    def test_buffer_cache_cascade_drops_negatives(self, cluster):
+        site = cluster.site(1)
+        site.name_cache.put_negative((0, 5), "missing", _vv(0))
+        site.cache.invalidate_file(0, 5)
+        assert not site.name_cache.peek_negative((0, 5), "missing")
+
+
 @pytest.mark.parametrize("name_cache", [False, True])
 class TestRemoteCommitVisibility:
     """A stat/readdir/read at another site never shows pre-commit state."""
@@ -171,6 +209,68 @@ class TestNameCacheEffect:
         us = cluster.site(1)
         assert us.name_cache.stats.hits >= 10
         assert us.name_cache.stats.hit_rate > 0.5
+
+    def _miss_messages(self, name_cache):
+        """Message cost of 10 repeated lookups of a name that is absent
+        from a remote directory (the failing PATH-search hot path)."""
+        cluster = LocusCluster(
+            n_sites=2, seed=13, root_pack_sites=[0],
+            cost=CostModel().with_overrides(name_cache=name_cache))
+        sh0, sh1 = cluster.shell(0), cluster.shell(1)
+        sh0.mkdir("/bin")
+        sh0.write_file("/bin/real", b"x")
+        cluster.settle()
+        with pytest.raises(Exception):
+            sh1.stat("/bin/nope")                # first miss fills
+        win = StatsWindow(cluster.stats)
+        for __ in range(10):
+            with pytest.raises(Exception):
+                sh1.stat("/bin/nope")
+        snap = win.close()
+        return snap.total_messages, cluster
+
+    def test_repeated_failing_lookups_send_fewer_messages(self):
+        """The PATH-search regression: searching a command through
+        directories that do not hold it is all failing lookups; cached
+        ENOENT answers must cut the repeat traffic."""
+        cold, __ = self._miss_messages(name_cache=False)
+        warm, cluster = self._miss_messages(name_cache=True)
+        assert warm * 2 <= cold, (warm, cold)
+        us = cluster.site(1)
+        assert us.name_cache.stats.neg_fills >= 1
+        assert us.name_cache.stats.neg_hits >= 10
+
+    def test_create_after_cached_enoent_is_visible(self):
+        """A cached ENOENT must die with the commit that creates the name
+        (same version-vector authority as positive entries)."""
+        cluster = LocusCluster(
+            n_sites=2, seed=13, root_pack_sites=[0],
+            cost=CostModel().with_overrides(name_cache=True))
+        sh0, sh1 = cluster.shell(0), cluster.shell(1)
+        sh0.mkdir("/d")
+        cluster.settle()
+        for __ in range(3):
+            with pytest.raises(Exception):
+                sh1.stat("/d/late")              # caches the absence
+        sh0.write_file("/d/late", b"here")       # remote commit, no settle
+        assert sh1.read_file("/d/late") == b"here"
+        assert sh1.stat("/d/late")["size"] == 4
+
+    def test_unlink_then_lookup_then_recreate(self):
+        """Negative entries filled after an unlink must not outlive the
+        recreation of the same name."""
+        cluster = LocusCluster(
+            n_sites=2, seed=13, root_pack_sites=[0],
+            cost=CostModel().with_overrides(name_cache=True))
+        sh0, sh1 = cluster.shell(0), cluster.shell(1)
+        sh0.write_file("/cycle", b"v1")
+        cluster.settle()
+        assert sh1.read_file("/cycle") == b"v1"
+        sh0.unlink("/cycle")
+        with pytest.raises(Exception):
+            sh1.stat("/cycle")                   # sees (and caches) ENOENT
+        sh0.write_file("/cycle", b"v2")
+        assert sh1.read_file("/cycle") == b"v2"
 
     def test_same_seed_same_trace_under_every_flag_combo(self):
         for flags in ({}, {"name_cache": True},

@@ -87,6 +87,24 @@ class CostModel:
     pathname_shipping: bool = False
     msg_header_bytes: int = 64      # wire overhead per message
 
+    # Remote-operation supervision (ISSUE 3).  With the flag on, idempotent
+    # remote calls get a per-op timeout plus bounded deterministic
+    # exponential backoff, and the US read path fails over to another pack
+    # copy when its SS dies mid-call (paper sections 2.3.2 and 5.6: "the
+    # system will substitute a different copy").  Off reproduces the paper's
+    # unsupervised calls: any mid-call failure surfaces to the caller.
+    # Fault-free runs are identical either way — no retry ever fires and
+    # timeout events are cancelled without advancing the clock.
+    supervise_remote_ops: bool = True
+    rpc_timeout: float = 400.0      # per-op backstop for idempotent RPCs
+    rpc_retries: int = 3            # bounded retry / failover attempts
+    rpc_backoff: float = 8.0        # base of the exponential retry backoff
+    # Adaptive flush sizing for batch_writes: staged dirty pages also flush
+    # when they have been sitting for this much virtual time, so a slow
+    # writer's pages are not hostage to the next ordering point (0 = only
+    # full batches and ordering points flush).
+    write_flush_deadline: float = 0.0
+
     # Reconfiguration timers
     poll_timeout: float = 50.0      # RPC poll timeout used by reconfiguration
     merge_long_timeout: float = 200.0   # while expected sites missing

@@ -178,11 +178,23 @@ class LocusCluster:
     def settle(self, max_time: float = 100000.0) -> None:
         """Run until the event queue drains (propagation, reconfiguration
         chatter...) or the time budget passes.  The clock advances only as
-        far as actual events, never to the horizon."""
+        far as actual events, never to the horizon.  Quiescence fires the
+        simulator's idle hooks (post-heal invariant checks live there); the
+        loop continues if a hook scheduled new work."""
         horizon = self.sim.now + max_time
-        while self.sim._peek_time() <= horizon:
-            if not self.sim.step():
+        while True:
+            while self.sim._peek_time() <= horizon:
+                self.sim.step()
+            if not self.sim.fire_idle_hooks():
                 break
+
+    def inject(self, plan):
+        """Arm a scripted fault plan (see :mod:`repro.faults`) against this
+        cluster; returns the armed :class:`FaultInjector`."""
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(self, plan)
+        injector.arm()
+        return injector
 
     # ------------------------------------------------------------------
     # Topology control (the experiment harness's hand on the cables)

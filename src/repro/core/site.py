@@ -120,6 +120,46 @@ class Site:
             raise value
         return value
 
+    def supervised_rpc(self, dst, op: str, payload: Optional[dict] = None,
+                       idempotent: bool = True,
+                       timeout: Optional[float] = None,
+                       retries: Optional[int] = None,
+                       backoff: Optional[float] = None) -> Generator:
+        """Supervised remote call: a per-op timeout plus bounded
+        deterministic exponential backoff for idempotent operations.
+
+        ``dst`` may be a callable re-evaluated before every attempt so a
+        retry chases responsibility that moved during the failure (e.g. a
+        CSS re-elected while this call was failing).  Non-idempotent calls
+        get the timeout backstop but never blind-retry.  With
+        ``cost.supervise_remote_ops`` off this degenerates to plain
+        :meth:`rpc` — the paper's unsupervised behaviour.
+        """
+        resolve = dst if callable(dst) else (lambda: dst)
+        cost = self.cost
+        if not cost.supervise_remote_ops:
+            result = yield from self.rpc(resolve(), op, payload)
+            return result
+        if timeout is None:
+            timeout = cost.rpc_timeout or None
+        if retries is None:
+            retries = cost.rpc_retries
+        if backoff is None:
+            backoff = cost.rpc_backoff
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.rpc(resolve(), op, payload,
+                                             timeout=timeout)
+                return result
+            except NetworkError:
+                if not idempotent or attempt >= retries or not self.up:
+                    raise
+                # Deterministic exponential backoff: gives the partition
+                # protocol time to converge before the retry resolves dst.
+                yield backoff * (2 ** attempt)
+                attempt += 1
+
     def oneway(self, dst: int, op: str,
                payload: Optional[dict] = None) -> Generator:
         """One-way protocol message: low-level acks only, no response

@@ -29,16 +29,23 @@ class TaskCancelled(SimError):
     """Raised inside a task's generator when the task is cancelled."""
 
 
-class SimTimeout(SimError):
-    """A timed wait expired before its future resolved."""
-
-
 # ---------------------------------------------------------------------------
 # Network errors
 # ---------------------------------------------------------------------------
 
 class NetworkError(LocusError):
     """Base class for network-layer failures."""
+
+
+class SimTimeout(SimError, NetworkError):
+    """A timed wait expired before its future resolved.
+
+    Deliberately also a :class:`NetworkError`: a timed-out remote operation
+    is indistinguishable from a lost message or a dead peer, so every call
+    site that handles communication failure with ``except NetworkError``
+    handles timeouts too.  ``tests/test_exception_contract.py`` enforces
+    that no kernel code catches SimTimeout separately.
+    """
 
 
 class Unreachable(NetworkError):
@@ -118,6 +125,12 @@ class EBUSY(FsError):
 
 class ENOSPC(FsError):
     errno = "ENOSPC"
+
+
+class EIO(FsError):
+    """A physical disk read/write failed at the storage site."""
+
+    errno = "EIO"
 
 
 class ESTALE(FsError):

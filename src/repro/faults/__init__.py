@@ -1,0 +1,19 @@
+"""Deterministic fault-injection engine.
+
+A :class:`FaultPlan` is a seeded script of failure events (site crashes,
+partitions, loss bursts, latency spikes, disk write errors, targeted
+message drops) fired at virtual times or message-count triggers.  The
+:class:`FaultInjector` arms a plan against a live cluster and records a
+deterministic event trace; the :class:`InvariantChecker` audits the
+filesystem at quiescence after every heal and reports violations together
+with the seed and plan JSON that reproduce them.
+
+See docs/FAULTS.md for the schema and determinism guarantees.
+"""
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, Violation
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultInjector", "InvariantChecker",
+           "Violation"]

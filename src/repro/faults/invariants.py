@@ -1,0 +1,90 @@
+"""Invariants audited at quiescence after every heal.
+
+Two layers:
+
+* the full read-only :func:`repro.tools.fsck.fsck` audit (reachability,
+  dangling entries, placement, unflagged version conflicts, link counts);
+* replica divergence — stricter than fsck's conflict check: once a merge
+  has settled, every reachable data copy of a file must carry *equal*
+  version vectors.  A copy that is merely dominated (stale but not
+  conflicting) means propagation silently failed to converge.
+
+The checker is strictly read-only — it never repairs, settles, or
+schedules events, so it is safe to run from the simulator's idle hook.
+Violations carry the seed and plan JSON that reproduce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class Violation:
+    kind: str
+    detail: str
+    seed: int
+    plan_json: str
+
+    def __str__(self) -> str:
+        return (f"[{self.kind}] {self.detail} "
+                f"(reproduce: seed={self.seed} plan={self.plan_json})")
+
+
+class InvariantChecker:
+
+    def __init__(self, cluster, plan: Optional[object] = None):
+        self.cluster = cluster
+        self.plan = plan
+
+    def _make(self, kind: str, detail: str) -> Violation:
+        seed = self.plan.seed if self.plan is not None \
+            else self.cluster.config.seed
+        plan_json = self.plan.to_json() if self.plan is not None else "{}"
+        return Violation(kind=kind, detail=detail, seed=seed,
+                         plan_json=plan_json)
+
+    def check(self) -> List[Violation]:
+        out: List[Violation] = []
+        out.extend(self._fsck_violations())
+        out.extend(self._replica_divergence())
+        return out
+
+    def _fsck_violations(self) -> List[Violation]:
+        from repro.tools.fsck import fsck
+        report = fsck(self.cluster)
+        out: List[Violation] = []
+        for category in ("orphan_inodes", "dangling_entries",
+                         "placement_errors", "unflagged_conflicts",
+                         "nlink_errors"):
+            for item in getattr(report, category):
+                out.append(self._make(f"fsck:{category}", repr(item)))
+        return out
+
+    def _replica_divergence(self) -> List[Violation]:
+        out: List[Violation] = []
+        cluster = self.cluster
+        mount = cluster.sites[0].fs.mount
+        for gfs in sorted(mount.groups):
+            packs = {}
+            for site_id in mount.pack_sites(gfs):
+                site = cluster.site(site_id)
+                if site.up and gfs in site.packs:
+                    packs[site_id] = site.packs[gfs]
+            inos = sorted({ino for pack in packs.values()
+                           for ino in pack.inodes})
+            for ino in inos:
+                copies = [(s, p.inodes[ino]) for s, p in sorted(packs.items())
+                          if ino in p.inodes]
+                data = [(s, i) for s, i in copies
+                        if i.has_data and not i.deleted and not i.conflict]
+                if len(data) < 2:
+                    continue
+                first = data[0][1].version
+                if any(i.version != first for __, i in data[1:]):
+                    versions = {s: i.version.to_dict() for s, i in data}
+                    out.append(self._make(
+                        "replica_divergence",
+                        f"gfile=({gfs},{ino}) versions={versions}"))
+        return out

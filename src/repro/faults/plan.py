@@ -1,0 +1,153 @@
+"""Fault plans: seeded, serialisable scripts of failure events.
+
+A plan is data, not code: it round-trips through JSON so a violation report
+can carry the exact script that produced it, and replaying the same seed and
+plan yields an identical event trace (the simulator owns all randomness).
+
+Events fire on one of two triggers:
+
+* ``at`` — an absolute virtual time;
+* ``after_messages`` — after the network has carried that many messages
+  (optionally only counting a specific ``mtype``), for faults that must land
+  mid-protocol regardless of how long the protocol takes to start.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, List, Optional
+
+KINDS = ("crash", "restart", "partition", "heal", "loss_burst",
+         "latency_spike", "disk_errors", "drop")
+
+
+@dataclass
+class FaultEvent:
+    """One scripted fault.  Which fields matter depends on ``kind``:
+
+    =============  ========================================================
+    kind           fields used
+    =============  ========================================================
+    crash          at, site
+    restart        at, site, merge
+    partition      at, groups
+    heal           at, merge
+    loss_burst     at, rate, duration
+    latency_spike  at, delta, duration, src/dst (omit both = every pair)
+    disk_errors    at, site, count, gfs (omit = every local pack)
+    drop           at and/or after_messages, mtype, count
+    =============  ========================================================
+    """
+
+    kind: str
+    at: Optional[float] = None
+    after_messages: Optional[int] = None
+    mtype: Optional[str] = None
+    site: Optional[int] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    groups: Optional[List[List[int]]] = None
+    rate: Optional[float] = None
+    duration: Optional[float] = None
+    delta: Optional[float] = None
+    count: Optional[int] = None
+    gfs: Optional[int] = None
+    merge: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at is None and self.after_messages is None:
+            raise ValueError(f"{self.kind}: needs 'at' or 'after_messages'")
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(**data)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered fault script plus the seed that makes it reproducible.
+
+    The builder methods chain::
+
+        plan = (FaultPlan(seed=11)
+                .crash(at=500.0, site=1)
+                .restart(at=900.0, site=1)
+                .heal(at=1500.0))
+    """
+
+    seed: int = 0
+    name: str = "plan"
+    # Queue a quiescence-time invariant check after every heal event.
+    check_after_heal: bool = True
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- builder ---------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def crash(self, at: float, site: int) -> "FaultPlan":
+        return self.add(FaultEvent("crash", at=at, site=site))
+
+    def restart(self, at: float, site: int, merge: bool = True) -> "FaultPlan":
+        return self.add(FaultEvent("restart", at=at, site=site, merge=merge))
+
+    def partition(self, at: float, *groups: Iterable[int]) -> "FaultPlan":
+        return self.add(FaultEvent("partition", at=at,
+                                   groups=[sorted(g) for g in groups]))
+
+    def heal(self, at: float, merge: bool = True) -> "FaultPlan":
+        return self.add(FaultEvent("heal", at=at, merge=merge))
+
+    def loss_burst(self, at: float, rate: float,
+                   duration: float) -> "FaultPlan":
+        return self.add(FaultEvent("loss_burst", at=at, rate=rate,
+                                   duration=duration))
+
+    def latency_spike(self, at: float, delta: float, duration: float,
+                      src: Optional[int] = None,
+                      dst: Optional[int] = None) -> "FaultPlan":
+        return self.add(FaultEvent("latency_spike", at=at, delta=delta,
+                                   duration=duration, src=src, dst=dst))
+
+    def disk_errors(self, at: float, site: int, count: int = 1,
+                    gfs: Optional[int] = None) -> "FaultPlan":
+        return self.add(FaultEvent("disk_errors", at=at, site=site,
+                                   count=count, gfs=gfs))
+
+    def drop(self, mtype: str, count: int = 1,
+             after_messages: Optional[int] = None,
+             at: Optional[float] = None) -> "FaultPlan":
+        if after_messages is None and at is None:
+            at = 0.0
+        return self.add(FaultEvent("drop", at=at,
+                                   after_messages=after_messages,
+                                   mtype=mtype, count=count))
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "name": self.name,
+                "check_after_heal": self.check_after_heal,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(seed=data.get("seed", 0), name=data.get("name", "plan"),
+                   check_after_heal=data.get("check_after_heal", True),
+                   events=[FaultEvent.from_dict(e)
+                           for e in data.get("events", [])])
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))

@@ -38,6 +38,14 @@ class UsHandle:
     pending_writes: Dict[int, bytes] = field(default_factory=dict)
     pending_size: int = 0
     pages_sent: int = 0
+    # Adaptive flush sizing (write_flush_deadline): the pending deadline
+    # timer event, and the completion future of a deadline flush still on
+    # the wire (ordering points queue behind it).
+    flush_timer: Optional[object] = None
+    flush_done: Optional[object] = None
+    # In-progress failover (replica substitution): concurrent substitutions
+    # for the same handle wait here instead of double-registering.
+    failover_busy: Optional[object] = None
 
     @property
     def size(self) -> int:
@@ -67,6 +75,9 @@ class SsOpen:
     # against the batched commit's expected count (lost one-way messages
     # must fail the commit, never half-apply it).
     pages_received: int = 0
+    # A staged page write failed at the physical disk (the one-way write
+    # protocol has no reply to carry the error): the commit must refuse.
+    io_error: Optional[str] = None
 
     @property
     def total_users(self) -> int:

@@ -33,8 +33,8 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
-from repro.errors import (EBADF, EBUSY, ECONFLICT, EINVAL, ENOENT, ESTALE,
-                          FsError, NetworkError, SiteDown)
+from repro.errors import (EBADF, EBUSY, ECONFLICT, EINVAL, EIO, ENOENT,
+                          ESTALE, FsError, NetworkError, SiteDown)
 from repro.fs.handles import CssEntry, SsOpen, UsHandle
 from repro.fs.mount import MountTable
 from repro.fs.namespace import NamespaceMixin
@@ -179,16 +179,18 @@ class FsManager(PathMixin, NamespaceMixin):
                 attrs = yield from self._ss_open_local(gfile, mode, self.sid)
                 return self._make_handle(gfile, mode, self.sid, attrs,
                                          sync=False)
-        css = self.mount.css_for(gfile[0])
         us_vv = None
         if self.stores_locally(gfile):
             us_vv = self.local_inode(gfile).version.copy()
-        resp = yield from self.site.rpc(css, "fs.css_open", {
-            "gfile": gfile,
-            "mode": mode,
-            "us_vv": us_vv,
-            "allow_conflict": allow_conflict,
-        })
+        # Supervised: the dst callable re-resolves the CSS before every
+        # attempt, so a retry after a CSS crash chases the re-elected one.
+        resp = yield from self.site.supervised_rpc(
+            lambda: self.mount.css_for(gfile[0]), "fs.css_open", {
+                "gfile": gfile,
+                "mode": mode,
+                "us_vv": us_vv,
+                "allow_conflict": allow_conflict,
+            })
         ss_site, attrs = resp["ss"], resp["attrs"]
         if ss_site == self.sid:
             # CSS selected this site as SS; set up the storage-site state
@@ -403,6 +405,88 @@ class FsManager(PathMixin, NamespaceMixin):
         return so.shadow.incore.attrs()
 
     # ------------------------------------------------------------------
+    # US: replica failover (sections 2.3.2, 5.2, 5.6)
+    # ------------------------------------------------------------------
+
+    def failover_handle(self, handle: UsHandle) -> Generator:
+        """Internal close + reopen at another pack copy, adopting the
+        replacement under the old handle id so the process never notices
+        (section 5.2 principle 3: "the system substitutes a different copy
+        of the same version if possible").
+
+        Shared by the mid-call read failover below and reconfiguration
+        cleanup (:mod:`repro.reconfig.cleanup`).  Raises :class:`ESTALE`
+        when the only reachable copies are older than what the handle was
+        reading (substituting one would run time backwards), or whatever
+        the reopen itself raises when no copy remains.
+        """
+        if handle.failover_busy is not None and not handle.failover_busy.done:
+            # Another task (e.g. reconfiguration cleanup racing a mid-call
+            # retry) is already substituting a copy; a second reopen would
+            # leak a CSS registration.  Wait for it and adopt its outcome.
+            yield handle.failover_busy
+            return None
+        busy = self.site.sim.create_future(f"failover:{handle.gfile}")
+        handle.failover_busy = busy
+        try:
+            old_version = handle.attrs["version"]
+            replacement = yield from self.open_gfile(handle.gfile,
+                                                     handle.mode)
+            if not replacement.attrs["version"].dominates(old_version):
+                yield from self.close(replacement)
+                raise ESTALE(f"remaining copies of {handle.gfile} are older "
+                             f"than the open version")
+            if replacement.attrs["version"] != old_version:
+                # A strictly newer version: locally cached pages of the old
+                # one must not serve alongside it.
+                self.site.cache.invalidate_file(*handle.gfile)
+            handle.ss_site = replacement.ss_site
+            handle.attrs = replacement.attrs
+            handle.last_page = -2
+            self.us.pop(replacement.hid, None)
+        finally:
+            handle.failover_busy = None
+            busy.resolve(None)
+        return None
+
+    def _read_rpc(self, handle: UsHandle, op: str, payload: dict) -> Generator:
+        """Supervised read-path RPC to the handle's storage site.
+
+        When the SS crashes or the circuit closes mid-call (also: the SS
+        restarted and lost its open state, or refuses as stale), fail over
+        to the next available pack copy and retry — bounded by
+        ``cost.rpc_retries`` with deterministic exponential backoff.  Only
+        the read path retries; commit/write paths abort the shadow instead
+        (a blind retry could double-apply).  With supervision off this is a
+        plain unsupervised call, the paper's behaviour.
+        """
+        cost = self.cost
+        supervised = cost.supervise_remote_ops and not handle.mode.writable
+        timeout = (cost.rpc_timeout or None) if supervised else None
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.site.rpc(handle.ss_site, op,
+                                                  payload, timeout=timeout)
+                return result
+            except (NetworkError, EBADF, ESTALE):
+                if (not supervised or handle.closed
+                        or attempt >= max(1, cost.rpc_retries)):
+                    raise
+                attempt += 1
+                failed_ss = handle.ss_site
+                # Backoff first: gives the partition protocol time to agree
+                # on the new membership before the reopen picks a copy.
+                yield cost.rpc_backoff * (2 ** (attempt - 1))
+                if handle.closed:
+                    raise   # reconfiguration cleanup closed it meanwhile
+                if handle.ss_site == failed_ss:
+                    # Cleanup may have substituted a copy during the
+                    # backoff; only reopen if the handle still points at
+                    # the site that just failed.
+                    yield from self.failover_handle(handle)
+
+    # ------------------------------------------------------------------
     # US: read
     # ------------------------------------------------------------------
 
@@ -459,8 +543,8 @@ class FsManager(PathMixin, NamespaceMixin):
                     self._inflight[key_of(p)] = fut
                     futs[p] = fut
             try:
-                resp = yield from self.site.rpc(
-                    handle.ss_site, "fs.read_pages", {
+                resp = yield from self._read_rpc(
+                    handle, "fs.read_pages", {
                         "gfile": gfile, "pages": list(chunk),
                         "committed": committed,
                     })
@@ -523,7 +607,7 @@ class FsManager(PathMixin, NamespaceMixin):
         fut = self.site.sim.create_future(f"fetch:{key}")
         self._inflight[key] = fut
         try:
-            data = yield from self.site.rpc(handle.ss_site, "fs.read_page", {
+            data = yield from self._read_rpc(handle, "fs.read_page", {
                 "gfile": gfile, "page": page,
             })
         except BaseException as exc:
@@ -613,7 +697,7 @@ class FsManager(PathMixin, NamespaceMixin):
         if cached is not None:
             yield from self.site.cpu(self.cost.buffer_hit)
             return cached
-        data = yield from self.site.rpc(handle.ss_site, "fs.read_page", {
+        data = yield from self._read_rpc(handle, "fs.read_page", {
             "gfile": gfile, "page": page, "committed": True,
         })
         self.site.cache.put(key, data)
@@ -748,6 +832,14 @@ class FsManager(PathMixin, NamespaceMixin):
             handle.pending_size = max(handle.pending_size, new_size)
             if len(handle.pending_writes) >= max(1, self.cost.batch_pages):
                 yield from self._flush_writes(handle)
+            elif (self.cost.write_flush_deadline > 0
+                    and handle.flush_timer is None):
+                # Adaptive flush sizing: a partial batch also ships after a
+                # vtime deadline, so a slow writer's staged pages are not
+                # hostage to the next ordering point.
+                handle.flush_timer = self.site.sim.schedule(
+                    self.cost.write_flush_deadline,
+                    self._deadline_flush, handle)
             return
         # The write protocol is a single one-way message (section 2.3.5).
         yield from self.site.oneway(handle.ss_site, "fs.write_page", {
@@ -760,34 +852,61 @@ class FsManager(PathMixin, NamespaceMixin):
         of one page keeps the paper-exact ``fs.write_page`` message.  The
         shipped count accumulates in ``handle.pages_sent``; the batched
         commit carries it so a lost chunk can never half-commit."""
+        if handle.flush_timer is not None:
+            handle.flush_timer.cancel()
+            handle.flush_timer = None
+        while handle.flush_done is not None and not handle.flush_done.done:
+            # A deadline flush is still on the wire: ordering points must
+            # queue behind it so a commit never overtakes staged pages.
+            yield handle.flush_done
         pending = handle.pending_writes
         if not pending:
             return None
+        flush_done = self.site.sim.create_future(f"flush:{handle.gfile}")
+        handle.flush_done = flush_done
         pages = sorted(pending)
         size = handle.pending_size
         handle.pending_writes = {}
         handle.pending_size = 0
         batch = max(1, self.cost.batch_pages)
-        for i in range(0, len(pages), batch):
-            chunk = pages[i:i + batch]
-            if len(chunk) == 1:
-                yield from self.site.oneway(handle.ss_site, "fs.write_page", {
-                    "gfile": handle.gfile, "page": chunk[0],
-                    "data": pending[chunk[0]], "size": size,
-                })
-            else:
-                yield from self.site.oneway(handle.ss_site, "fs.write_pages", {
-                    "gfile": handle.gfile,
-                    "pages": {p: pending[p] for p in chunk},
-                    "size": size,
-                })
-                # Sender-side accounting: one-way messages have no response
-                # to carry the count back, and the receive handler runs
-                # after the sender's measurement window has closed.
-                self.site.net.stats.record_pages("fs.write_pages",
-                                                 len(chunk))
-            handle.pages_sent += len(chunk)
+        try:
+            for i in range(0, len(pages), batch):
+                chunk = pages[i:i + batch]
+                if len(chunk) == 1:
+                    yield from self.site.oneway(
+                        handle.ss_site, "fs.write_page", {
+                            "gfile": handle.gfile, "page": chunk[0],
+                            "data": pending[chunk[0]], "size": size,
+                        })
+                else:
+                    yield from self.site.oneway(
+                        handle.ss_site, "fs.write_pages", {
+                            "gfile": handle.gfile,
+                            "pages": {p: pending[p] for p in chunk},
+                            "size": size,
+                        })
+                    # Sender-side accounting: one-way messages have no
+                    # response to carry the count back, and the receive
+                    # handler runs after the sender's measurement window
+                    # has closed.
+                    self.site.net.stats.record_pages("fs.write_pages",
+                                                     len(chunk))
+                handle.pages_sent += len(chunk)
+        finally:
+            if handle.flush_done is flush_done:
+                handle.flush_done = None
+            flush_done.resolve(None)
         return None
+
+    def _deadline_flush(self, handle: UsHandle) -> None:
+        """Timer callback for the write_flush_deadline: ship the partial
+        batch unless an ordering point got there first."""
+        handle.flush_timer = None
+        if (handle.closed or not handle.pending_writes or not self.site.up
+                or self.us.get(handle.hid) is not handle):
+            return
+        self.site.spawn(self._flush_writes(handle),
+                        name=f"flush-deadline:{handle.gfile}")
 
     def h_write_page(self, src: int, p: dict) -> Generator:
         so = self.ss.get(p["gfile"])
@@ -818,7 +937,13 @@ class FsManager(PathMixin, NamespaceMixin):
         # commit or abort handler interleaving at the cost yields below
         # sees the entire batch applied, never a prefix of it.
         for page in pages:
-            so.shadow.write_page(page, p["pages"][page])
+            try:
+                so.shadow.write_page(page, p["pages"][page])
+            except FsError as exc:
+                # A one-way write has no reply to carry the error; poison
+                # the open so the commit refuses (never a silent zero page).
+                so.io_error = str(exc)
+                raise
             self.site.cache.put(self._page_key(so.gfile, page),
                                 p["pages"][page])
         so.shadow.set_size(max(so.shadow.incore.size, p["size"]))
@@ -840,7 +965,14 @@ class FsManager(PathMixin, NamespaceMixin):
         # State change and cache update are one atomic step: an abort
         # interleaving at the cost-accounting yield below must not see the
         # cache repopulated with the discarded page afterwards.
-        so.shadow.write_page(page, data)
+        try:
+            so.shadow.write_page(page, data)
+        except FsError as exc:
+            # The write protocol is one-way (no reply for the error to ride
+            # back on, section 2.3.5): poison the open so the commit fails
+            # instead of silently committing a hole.
+            so.io_error = str(exc)
+            raise
         so.shadow.set_size(max(so.shadow.incore.size, new_size))
         self.site.cache.put(self._page_key(so.gfile, page), data)
         yield from self.site.cpu(self.cost.disk_write)
@@ -872,6 +1004,9 @@ class FsManager(PathMixin, NamespaceMixin):
             # post-state the per-page protocol reaches.
             handle.pending_writes.clear()
             handle.pending_size = 0
+        if handle.flush_timer is not None:
+            handle.flush_timer.cancel()
+            handle.flush_timer = None
         if handle.ss_site == self.sid:
             so = self.ss[handle.gfile]
             yield from self._ss_truncate(so)
@@ -963,6 +1098,9 @@ class FsManager(PathMixin, NamespaceMixin):
         handle.pending_writes.clear()
         handle.pending_size = 0
         handle.pages_sent = 0
+        if handle.flush_timer is not None:
+            handle.flush_timer.cancel()
+            handle.flush_timer = None
         if handle.ss_site == self.sid:
             yield from self._ss_abort(handle.gfile)
         else:
@@ -978,7 +1116,12 @@ class FsManager(PathMixin, NamespaceMixin):
         expected = p.get("expected_pages")
         if expected is not None:
             so = self.ss.get(p["gfile"])
-            if so is not None and so.pages_received != expected:
+            if so is not None and so.io_error is not None:
+                # A physical write failure mid-chunk also stops the staged
+                # count; report the root cause (EIO from _ss_commit), not
+                # the count mismatch it produced.
+                pass
+            elif so is not None and so.pages_received != expected:
                 # A write-behind batch was partially delivered (a lost
                 # one-way fs.write_pages closed the circuit, and this
                 # commit reopened it).  Never half-commit: drop the staged
@@ -999,6 +1142,12 @@ class FsManager(PathMixin, NamespaceMixin):
         so = self.ss.get(gfile)
         if so is None:
             raise EBADF(f"{gfile} not open at storage site {self.sid}")
+        if so.io_error is not None:
+            # A page write failed at the disk after its one-way message was
+            # acknowledged; committing would make the hole permanent.
+            detail = so.io_error
+            yield from self._ss_abort(gfile)
+            raise EIO(f"commit refused, staged write failed: {detail}")
         pages_changed = so.shadow.shadowed_pages
         vv = so.shadow.commit(mtime=self.site.sim.now)
         so.pages_received = 0
@@ -1016,6 +1165,7 @@ class FsManager(PathMixin, NamespaceMixin):
             raise EBADF(f"{gfile} not open at storage site {self.sid}")
         so.shadow.abort()
         so.pages_received = 0
+        so.io_error = None
         self.site.cache.invalidate_file(*gfile)
         yield from self.site.cpu(self.cost.buffer_hit)
         return None
@@ -1214,8 +1364,20 @@ class FsManager(PathMixin, NamespaceMixin):
         if handle.closed:
             raise EBADF("double close")
         # "Closing a file commits it" (section 2.3.6).
+        commit_error = None
         if handle.mode.writable and handle.dirty:
-            yield from self.commit(handle)
+            try:
+                yield from self.commit(handle)
+            except FsError as exc:
+                # The SS refused (e.g. a staged page hit a disk write
+                # error): undo to the previous commit point — which also
+                # drops locally cached pages of the never-committed data —
+                # finish the close, and surface the failure through the
+                # close like Unix's deferred write error.  Communication
+                # failures are NOT caught: reconfiguration cleanup owns
+                # those (the descriptor is marked in error instead).
+                commit_error = exc
+                yield from self.abort(handle)
         handle.closed = True
         self.us.pop(handle.hid, None)
         gfile = handle.gfile
@@ -1231,6 +1393,8 @@ class FsManager(PathMixin, NamespaceMixin):
                                               "fs.close_unsync",
                                               {"gfile": gfile})
             self.site.cache.invalidate_file(*gfile)
+        if commit_error is not None:
+            raise commit_error
         return None
 
     def h_close(self, src: int, p: dict) -> Generator:

@@ -59,6 +59,11 @@ class Network:
         # circuit is closed"), so loss surfaces as failure detection, never
         # as silent reordering.
         self.loss_rate: float = 0.0
+        # Fault-engine hooks (repro.faults).  Taps observe every send
+        # attempt (message-count triggers); drop filters may claim a message
+        # as scripted loss — the circuit closes exactly as for random loss.
+        self.taps: List[Callable[[Message], None]] = []
+        self.drop_filters: List[Callable[[Message], bool]] = []
 
     # -- membership -----------------------------------------------------
 
@@ -148,6 +153,12 @@ class Network:
             circuit.open = True
             self.stats.circuits_opened += 1
         self.stats.record_send(msg.stat_key(), msg.size)
+        for tap in self.taps:
+            tap(msg)
+        if any(f(msg) for f in self.drop_filters):
+            self.stats.dropped += 1
+            self._close_circuit(frozenset((src, dst)), "message lost (fault)")
+            return
         if self.loss_rate and self.sim.rng.random() < self.loss_rate:
             self.stats.dropped += 1
             self._close_circuit(frozenset((src, dst)), "message lost")

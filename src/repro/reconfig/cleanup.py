@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Generator, Set
 
-from repro.errors import FsError, NetworkError
+from repro.errors import ESTALE, FsError, NetworkError
 
 
 def run_cleanup(site, lost: Set[int], members: Set[int]) -> Generator:
@@ -68,32 +68,31 @@ def _cleanup_fs(site, lost: Set[int], members: Set[int]) -> Generator:
         else:
             # "Internal close, attempt to reopen at other site" — the system
             # substitutes a different copy of the same version if possible.
-            yield from _reopen_elsewhere(site, handle)
+            # Spawned as its own kernel task: reconfiguration re-elects the
+            # CSS only after this cleanup returns, and the reopen must be
+            # able to wait that re-election out (the handle stays open
+            # meanwhile; concurrent reads queue behind the failover).
+            site.spawn(_reopen_elsewhere(site, handle),
+                       name=f"reopen:{handle.gfile}@{site.site_id}")
     return None
+    yield  # pragma: no cover -- keeps this a generator for run_cleanup
 
 
 def _reopen_elsewhere(site, handle) -> Generator:
+    """Substitute another copy under the old handle id, or mark the
+    descriptor in error.  The adopt-a-replacement mechanics are shared with
+    the mid-call read failover (``FsManager.failover_handle``)."""
     fs = site.fs
-    old_version = handle.attrs["version"]
     try:
-        replacement = yield from fs.open_gfile(handle.gfile, handle.mode)
+        yield from fs.failover_handle(handle)
+    except ESTALE:
+        # A copy exists but it is older than what the process was reading;
+        # substituting it silently would run time backwards.
+        handle.attrs["error"] = "remaining copies are stale"
+        handle.closed = True
+        fs.us.pop(handle.hid, None)
     except (FsError, NetworkError):
         handle.attrs["error"] = "no surviving copy reachable"
         handle.closed = True
         fs.us.pop(handle.hid, None)
-        return None
-    if not replacement.attrs["version"].dominates(old_version):
-        # A copy exists but it is older than what the process was reading;
-        # substituting it silently would run time backwards.
-        yield from fs.close(replacement)
-        handle.attrs["error"] = "remaining copies are stale"
-        handle.closed = True
-        fs.us.pop(handle.hid, None)
-        return None
-    # Adopt the replacement's storage site under the old handle id so the
-    # process never notices (section 5.2 principle 3).
-    handle.ss_site = replacement.ss_site
-    handle.attrs = replacement.attrs
-    handle.last_page = -2
-    fs.us.pop(replacement.hid, None)
     return None

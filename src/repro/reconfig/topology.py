@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional, Set
 
-from repro.errors import EBUSY, NetworkError, SimTimeout, TaskCancelled
+from repro.errors import EBUSY, NetworkError, TaskCancelled
 from repro.reconfig.cleanup import run_cleanup
 
 
@@ -123,7 +123,7 @@ class TopologyService:
                         {"active": self.sid},
                         timeout=self.site.cost.poll_timeout)
                     p_target = set(reply["partition"])
-                except (NetworkError, SimTimeout):
+                except NetworkError:
                     p_a.discard(target)
                     continue
                 except TaskCancelled:
@@ -145,7 +145,7 @@ class TopologyService:
             try:
                 yield from self.site.rpc(s, "topo.part_announce", payload,
                                          timeout=self.site.cost.poll_timeout)
-            except (NetworkError, SimTimeout):
+            except NetworkError:
                 # It will re-run the protocol on its own; consensus converges.
                 pass
         yield from self._apply_membership(members)
@@ -251,7 +251,7 @@ class TopologyService:
                 yield from self.site.rpc(
                     s, "topo.merge_announce", payload,
                     timeout=self.site.cost.poll_timeout)
-            except (NetworkError, SimTimeout):
+            except NetworkError:
                 pass
         yield from self._apply_membership(members)
         return None
@@ -262,7 +262,7 @@ class TopologyService:
                 target, "topo.merge_poll", {"fsite": self.sid},
                 timeout=self.site.cost.poll_timeout)
             return reply
-        except (NetworkError, SimTimeout, EBUSY):
+        except (NetworkError, EBUSY):
             return None
 
     def h_merge_poll(self, src: int, p: dict) -> Generator:
@@ -351,9 +351,15 @@ class TopologyService:
                     report = yield from self.site.rpc(
                         s, "fs.css_rebuild", {"gfs": gfs},
                         timeout=self.site.cost.poll_timeout)
-            except (NetworkError, SimTimeout):
+            except NetworkError:
                 continue
             for item in report:
+                if item["ss"] not in members:
+                    # The open was routed through a storage site that left
+                    # the partition.  Its US is closing or substituting the
+                    # handle in cleanup; resurrecting the lock would pin
+                    # future opens to the departed SS.
+                    continue
                 gfile = item["gfile"]
                 entry = fs.css_entries.get(gfile)
                 if entry is None:

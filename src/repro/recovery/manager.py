@@ -89,6 +89,17 @@ class RecoveryManager:
     # The filegroup sweep
     # ------------------------------------------------------------------
 
+
+    def _rpc(self, dst: int, op: str, payload: dict) -> Generator:
+        """Read-only recovery RPC with the supervised per-op timeout
+        backstop; timeouts are NetworkErrors, so the existing skip/retry
+        handling covers them.  Installs stay on the plain call."""
+        cost = self.site.cost
+        timeout = (cost.rpc_timeout or None) if cost.supervise_remote_ops \
+            else None
+        result = yield from self.site.rpc(dst, op, payload, timeout=timeout)
+        return result
+
     def reconcile_filegroup(self, gfs: int) -> Generator:
         members = self.site.topology.partition_set if self.site.topology \
             else set(self.site.net.site_ids)
@@ -97,7 +108,7 @@ class RecoveryManager:
         inventories: Dict[int, dict] = {}
         for s in pack_sites:
             try:
-                inv = yield from self.site.rpc(s, "fs.pack_inventory",
+                inv = yield from self._rpc(s, "fs.pack_inventory",
                                                {"gfs": gfs})
             except (NetworkError, FsError):
                 continue
@@ -191,7 +202,7 @@ class RecoveryManager:
             if s not in members:
                 continue
             try:
-                inventories[s] = yield from self.site.rpc(
+                inventories[s] = yield from self._rpc(
                     s, "fs.pack_inventory", {"gfs": gfs})
             except (NetworkError, FsError):
                 continue
@@ -232,7 +243,7 @@ class RecoveryManager:
         n_pages = (attrs["size"] + psz - 1) // psz
         chunks = []
         for page in range(n_pages):
-            data = yield from self.site.rpc(source, "fs.pull_read", {
+            data = yield from self._rpc(source, "fs.pull_read", {
                 "gfile": gfile, "page": page,
             })
             chunks.append(data.ljust(psz, b"\x00"))
@@ -371,7 +382,7 @@ class RecoveryManager:
         inv = {}
         for s in self.site.fs.mount.pack_sites(gfile[0]):
             try:
-                inv[s] = yield from self.site.rpc(s, "fs.pack_inventory",
+                inv[s] = yield from self._rpc(s, "fs.pack_inventory",
                                                   {"gfs": gfile[0]})
             except (NetworkError, FsError):
                 continue
@@ -393,7 +404,7 @@ class RecoveryManager:
         inv = {}
         for s in fs.mount.pack_sites(gfile[0]):
             try:
-                inv[s] = yield from self.site.rpc(s, "fs.pack_inventory",
+                inv[s] = yield from self._rpc(s, "fs.pack_inventory",
                                                   {"gfs": gfile[0]})
             except (NetworkError, FsError):
                 continue

@@ -44,6 +44,11 @@ class Simulator:
         self._seq = 0
         self.events_processed = 0
         self.tasks_spawned = 0
+        # Called whenever the event queue drains completely — the moment the
+        # whole system is quiescent.  The fault engine's InvariantChecker
+        # hangs its post-heal fsck here so checks never race in-flight
+        # protocols.  Hooks run synchronously and may schedule new events.
+        self.idle_hooks: List[Callable[[], None]] = []
 
     # -- scheduling ------------------------------------------------------
 
@@ -74,31 +79,46 @@ class Simulator:
     # -- running ---------------------------------------------------------
 
     def step(self) -> bool:
-        """Process the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            assert ev.time >= self.now, "time went backwards"
-            self.now = ev.time
-            self.events_processed += 1
-            ev.fn(*ev.args)
-            return True
-        return False
+        """Process the next event.  Returns False when the queue is empty
+        and the idle hooks (if any) scheduled nothing new."""
+        while True:
+            while self._heap:
+                ev = heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                assert ev.time >= self.now, "time went backwards"
+                self.now = ev.time
+                self.events_processed += 1
+                ev.fn(*ev.args)
+                return True
+            if not self.fire_idle_hooks():
+                return False
+
+    def fire_idle_hooks(self) -> bool:
+        """Run the idle hooks if the queue is truly empty.  Returns True
+        when a hook scheduled new work (so stepping should continue)."""
+        if not self.idle_hooks or self._peek_time() != float("inf"):
+            return False
+        for hook in list(self.idle_hooks):
+            hook()
+        return self._peek_time() != float("inf")
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` passes, or the budget ends."""
         budget = max_events
-        while self._heap:
-            if until is not None and self._peek_time() > until:
-                self.now = until
-                return
-            if budget is not None:
-                if budget <= 0:
+        while True:
+            while self._heap:
+                if until is not None and self._peek_time() > until:
+                    self.now = until
                     return
-                budget -= 1
-            self.step()
+                if budget is not None:
+                    if budget <= 0:
+                        return
+                    budget -= 1
+                self.step()
+            if not self.fire_idle_hooks():
+                break
         if until is not None and until > self.now:
             self.now = until
 

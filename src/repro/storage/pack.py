@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.errors import ENOSPC
+from repro.errors import EIO, ENOSPC
 from repro.storage.inode import DiskInode, FileType
 
 # 2**20 inode numbers per pack: effectively inexhaustible for experiments
@@ -47,6 +47,9 @@ class Pack:
         # reuse a number once every storage site has seen the delete
         # (section 2.3.7).
         self.pending_reuse: Set[int] = set()
+        # Injected disk faults (repro.faults): the next N block writes fail
+        # with EIO instead of taking effect.
+        self.write_faults = 0
 
     # -- blocks ------------------------------------------------------------
 
@@ -69,6 +72,10 @@ class Pack:
         return self.blocks.get(blockno, b"")
 
     def write_block(self, blockno: int, data: bytes) -> None:
+        if self.write_faults > 0:
+            self.write_faults -= 1
+            raise EIO(f"disk write failed: gfs={self.gfs} "
+                      f"site={self.site_id} block={blockno}")
         self.blocks[blockno] = data
 
     @property

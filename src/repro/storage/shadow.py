@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import EINVAL
+from repro.errors import EINVAL, FsError
 from repro.storage.inode import DiskInode
 from repro.storage.pack import Pack
 from repro.storage.version_vector import VersionVector
@@ -65,16 +65,27 @@ class ShadowFile:
         """
         if page_no < 0:
             raise EINVAL(f"negative page number {page_no}")
+        prior_len = len(self.incore.pages)
         while len(self.incore.pages) <= page_no:
             self.incore.pages.append(None)
-        if page_no not in self._shadowed:
+        first = page_no not in self._shadowed
+        if first:
             # First modification of this page: allocate a fresh block and
             # remember the old one so commit can free it / abort keep it.
             self._shadowed[page_no] = self.incore.pages[page_no]
             self.incore.pages[page_no] = self.pack.alloc_block()
         blockno = self.incore.pages[page_no]
         assert blockno is not None
-        self.pack.write_block(blockno, data)
+        try:
+            self.pack.write_block(blockno, data)
+        except FsError:
+            if first:
+                # Restore the mapping: a failed physical write must never
+                # leave an unwritten shadow block where data should be.
+                self.pack.free_block(blockno)
+                self.incore.pages[page_no] = self._shadowed.pop(page_no)
+                del self.incore.pages[prior_len:]
+            raise
         self.dirty = True
         return blockno
 

@@ -1,0 +1,66 @@
+"""The unified failure contract: a timeout IS a communication failure.
+
+The paper's model gives the kernel exactly one signal for a lost peer —
+the closed virtual circuit (section 5.1).  The simulation adds per-op
+timeouts as a supervision backstop, and they must surface through the same
+contract: ``SimTimeout`` subclasses ``NetworkError``, so every call site
+that handles communication failure handles timeouts for free.
+
+The lint half of this file keeps it that way: no protocol code may catch
+``SimTimeout`` separately (history: several reconfiguration paths caught
+``(NetworkError, SimTimeout)``, and paths that caught only ``NetworkError``
+silently leaked timeouts before the classes were unified).
+"""
+
+import pathlib
+import re
+
+from repro.errors import (CircuitClosed, LocusError, NetworkError, SimError,
+                          SimTimeout, SiteDown, Unreachable)
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# The RPC plumbing itself may name SimTimeout: Site.rpc must clean up its
+# pending-reply slot on timeout before re-raising.
+LINT_WHITELIST = {"core/site.py"}
+
+
+class TestHierarchy:
+    def test_timeout_is_both_sim_and_network_failure(self):
+        assert issubclass(SimTimeout, NetworkError)
+        assert issubclass(SimTimeout, SimError)
+
+    def test_one_except_clause_covers_every_comm_failure(self):
+        failures = [Unreachable(0, 1), CircuitClosed(1, "cable"),
+                    SiteDown(1), SimTimeout("fs.read_page->1")]
+        caught = []
+        for exc in failures:
+            try:
+                raise exc
+            except NetworkError as err:
+                caught.append(type(err))
+        assert caught == [type(e) for e in failures]
+
+    def test_everything_is_a_locus_error(self):
+        assert issubclass(SimTimeout, LocusError)
+        assert issubclass(NetworkError, LocusError)
+
+
+class TestLint:
+    def test_no_except_clause_names_simtimeout(self):
+        """Catching (NetworkError, SimTimeout) is redundant; catching
+        SimTimeout alone while meaning 'communication failed' is a bug.
+        Either way the clause should say NetworkError."""
+        pattern = re.compile(r"except\b[^\n]*\bSimTimeout\b")
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            rel = path.relative_to(SRC).as_posix()
+            if rel in LINT_WHITELIST:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if pattern.search(line):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "catch NetworkError instead of SimTimeout:\n" +
+            "\n".join(offenders))

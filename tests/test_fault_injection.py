@@ -3,6 +3,9 @@
 Message loss maps to the paper's model exactly: "If a message is lost, the
 circuit is closed" (section 5.1), so losses surface as failure detection
 and reconfiguration churn — never as silent inconsistency.
+
+All faults here are scripted through :class:`repro.faults.FaultPlan`, so
+every scenario is replayable from its seed + plan JSON (see docs/FAULTS.md).
 """
 
 import pytest
@@ -10,7 +13,12 @@ import pytest
 from repro import LocusCluster
 from repro.config import CostModel
 from repro.errors import EMFILE, LocusError
+from repro.faults import FaultPlan
 from repro.tools import fsck
+
+
+def _fired(inj, kind):
+    return [d for __, k, d in inj.trace if k == kind]
 
 
 class TestMessageLoss:
@@ -24,7 +32,10 @@ class TestMessageLoss:
         sh.write_file("/survivor", b"gen 0")
         cluster.settle()
 
-        cluster.net.loss_rate = 0.05
+        t0 = cluster.sim.now
+        weather = 150_000.0
+        inj = cluster.inject(FaultPlan(seed=201, name="lossy-weather")
+                             .loss_burst(at=t0, rate=0.05, duration=weather))
         completed = 0
         for i in range(30):
             writer = cluster.shell(i % 3)
@@ -36,8 +47,11 @@ class TestMessageLoss:
             cluster.settle(max_time=2000)
         assert completed > 0
 
-        # Weather clears: merge everyone back and reconcile.
-        cluster.net.loss_rate = 0.0
+        # Weather clears: the scripted restore fires, then merge everyone
+        # back and reconcile.
+        cluster.sim.run(until=t0 + weather + 1.0)
+        assert _fired(inj, "loss_restore"), "burst never expired"
+        assert cluster.net.loss_rate == 0.0
         cluster.heal()
         cluster.settle()
         from repro.tools import fsck_repair
@@ -50,13 +64,16 @@ class TestMessageLoss:
 
     def test_loss_closes_circuits_and_counts_drops(self):
         cluster = LocusCluster(n_sites=2, seed=202)
-        cluster.net.loss_rate = 1.0       # everything is lost
+        inj = cluster.inject(           # everything is lost
+            FaultPlan(seed=202).loss_burst(at=cluster.sim.now, rate=1.0,
+                                           duration=1_000_000.0))
         sh = cluster.shell(0)
         with pytest.raises(LocusError):
             # Any remote operation fails fast via the closed circuit.
             cluster.shell(1).write_file("/x", b"1")
             sh.read_file("/x")
             raise LocusError("remote op unexpectedly succeeded")
+        assert _fired(inj, "loss_burst")
         assert cluster.stats.dropped >= 1
         assert cluster.stats.circuits_closed >= 1
 
@@ -87,38 +104,20 @@ class TestCrashDuringProtocols:
         sh0.mkdir("/d")
         sh0.write_file("/d/before", b"1")
         cluster.settle()
-        # Start a create whose directory update commits at site 1; crash
-        # site 1 at an awkward moment by running the op only part way.
+        # Start a create whose directory update commits at site 1; the
+        # scripted crash kills site 1 at an awkward mid-protocol moment.
+        inj = cluster.inject(FaultPlan(seed=204, name="mid-create-crash")
+                             .crash(at=cluster.sim.now + 5.0, site=1))
         fs0 = cluster.site(0).fs
-        task = cluster.spawn(0, fs0.create_file(sh0.proc, "/d/during"))
-        cluster.sim.run(until=cluster.sim.now + 5)    # mid-protocol
-        cluster.fail_site(1)
+        cluster.spawn(0, fs0.create_file(sh0.proc, "/d/during"))
         cluster.settle()
+        assert _fired(inj, "crash"), "crash never fired"
         cluster.restart_site(1)
         cluster.settle()
         names = set(sh0.readdir("/d"))
         # Either the update committed fully or not at all.
         assert names in ({"before"}, {"before", "during"})
         assert fsck(cluster).clean
-
-
-def _drop_next(net, mtype, count=1):
-    """Lose the next ``count`` messages of ``mtype``; each loss closes the
-    virtual circuit exactly as the paper's model prescribes (section 5.1)."""
-    orig_send = net.send
-    state = {"dropped": 0}
-
-    def send(src, dst, msg):
-        if msg.mtype == mtype and state["dropped"] < count:
-            state["dropped"] += 1
-            net.stats.record_send(msg.stat_key(), msg.size)
-            net.stats.dropped += 1
-            net._close_circuit(frozenset((src, dst)), "message lost")
-            return
-        orig_send(src, dst, msg)
-
-    net.send = send
-    return state
 
 
 class TestBatchedWriteFaults:
@@ -150,10 +149,11 @@ class TestBatchedWriteFaults:
             yield from fs1.write(handle, 0, b"NEW" * 4000)
             yield 10_000_000.0          # never reaches the commit
 
+        inj = cluster.inject(FaultPlan(seed=301, name="writer-dies")
+                             .crash(at=cluster.sim.now + 50.0, site=1))
         cluster.spawn(1, half_op())
-        cluster.sim.run(until=cluster.sim.now + 50)
-        cluster.fail_site(1)            # the writer dies mid-protocol
-        cluster.settle()
+        cluster.settle()                # the writer dies mid-protocol
+        assert _fired(inj, "crash"), "crash never fired"
         assert sh0.read_file("/w") == old
         cluster.restart_site(1)
         cluster.settle()
@@ -173,7 +173,10 @@ class TestBatchedWriteFaults:
         sh.setcopies(3)
         sh.write_file("/survivor", b"gen 0")
         cluster.settle()
-        cluster.net.loss_rate = 0.05
+        t0 = cluster.sim.now
+        weather = 150_000.0
+        inj = cluster.inject(FaultPlan(seed=302, name="lossy-batched")
+                             .loss_burst(at=t0, rate=0.05, duration=weather))
         completed = 0
         for i in range(30):
             writer = cluster.shell(i % 3)
@@ -184,7 +187,8 @@ class TestBatchedWriteFaults:
                 pass
             cluster.settle(max_time=2000)
         assert completed > 0
-        cluster.net.loss_rate = 0.0
+        cluster.sim.run(until=t0 + weather + 1.0)
+        assert _fired(inj, "loss_restore"), "burst never expired"
         cluster.heal()
         cluster.settle()
         from repro.tools import fsck_repair
@@ -218,10 +222,12 @@ class TestManifestPullFaults:
         """Losing the fs.pull_manifest RPC must not stall the heal: every
         file still arrives through the per-file fs.pull_open protocol."""
         cluster, n = self._diverged(seed=303)
-        state = _drop_next(cluster.net, "fs.pull_manifest", count=1)
+        inj = cluster.inject(
+            FaultPlan(seed=303).drop("fs.pull_manifest", count=1))
         cluster.heal()
         cluster.settle()
-        assert state["dropped"] == 1, "fault never fired"
+        assert _fired(inj, "dropped") == ["fs.pull_manifest"], \
+            "fault never fired"
         sh1 = cluster.shell(1)
         for i in range(n):
             assert sh1.read_file(f"/m{i}") == bytes([i + 1]) * 300
@@ -232,10 +238,12 @@ class TestManifestPullFaults:
         the affected file is requeued and retried — not forgotten, and
         the heal does not restart from scratch."""
         cluster, n = self._diverged(seed=304)
-        state = _drop_next(cluster.net, "fs.pull_read_range", count=1)
+        inj = cluster.inject(
+            FaultPlan(seed=304).drop("fs.pull_read_range", count=1))
         cluster.heal()
         cluster.settle()
-        assert state["dropped"] == 1, "fault never fired"
+        assert _fired(inj, "dropped") == ["fs.pull_read_range"], \
+            "fault never fired"
         sh1 = cluster.shell(1)
         for i in range(n):
             assert sh1.read_file(f"/m{i}") == bytes([i + 1]) * 300
@@ -247,10 +255,11 @@ class TestManifestPullFaults:
         """The only source site dies mid-heal: pulls defer, and once it
         returns the propagation queue drains to convergence."""
         cluster, n = self._diverged(seed=305)
+        inj = cluster.inject(FaultPlan(seed=305, name="source-dies")
+                             .crash(at=cluster.sim.now + 30.0, site=0))
         cluster.heal(settle=False)
-        cluster.sim.run(until=cluster.sim.now + 30)   # heal underway
-        cluster.fail_site(0)
         cluster.settle(max_time=20000)
+        assert _fired(inj, "crash"), "crash never fired"
         cluster.restart_site(0)
         cluster.settle(max_time=50000)
         sh1 = cluster.shell(1)

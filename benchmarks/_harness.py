@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Sequence
 
 from repro import LocusCluster
 from repro.net.stats import StatsWindow
+from repro.obs.histogram import merge_snapshots
 
 
 def run_experiment(benchmark, fn: Callable[[], Dict], rounds: int = 1):
@@ -66,6 +67,24 @@ class Measure:
         self.t0 = cluster.sim.now
         self.cpu0 = {s.site_id: s.cpu_used for s in cluster.sites}
         self.window = StatsWindow(cluster.stats)
+        # Windowed registry snapshots: BENCH entries report latency
+        # percentiles for exactly the measured activity (repro.obs).
+        self.reg0 = {s.site_id: s.metrics.snapshot() for s in cluster.sites}
+
+    def latency(self, prefix: str = "") -> Dict[str, Dict]:
+        """Cluster-wide p50/p95/p99 over the measurement window, merged
+        across sites from the per-site MetricsRegistry histograms."""
+        diffs = [self.reg0[s.site_id].diff(s.metrics.snapshot())
+                 for s in self.cluster.sites]
+        names = sorted({name for d in diffs for name in d.hists
+                        if name.startswith(prefix)})
+        out: Dict[str, Dict] = {}
+        for name in names:
+            merged = merge_snapshots([d.hists[name] for d in diffs
+                                      if name in d.hists])
+            if merged.count:
+                out[name] = merged.to_dict()
+        return out
 
     def done(self) -> Dict:
         snap = self.window.close()
@@ -92,4 +111,6 @@ class Measure:
                                     if name_hits + name_misses else 0.0),
             "pipelined_rounds": sum(s.fs.propagator.stats.pipelined_rounds
                                     for s in self.cluster.sites),
+            # Windowed syscall/RPC latency percentiles via the registry.
+            "latency": self.latency(),
         }

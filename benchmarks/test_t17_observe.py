@@ -1,0 +1,235 @@
+"""T17 — observability: flight-recorder overhead and latency percentiles.
+
+Two claims behind the flight recorder (docs/OBSERVABILITY.md):
+
+(a) **Tracing is free.**  Recording is observational only — it never
+    charges CPU, sends messages, adds yield points, or touches the
+    simulator RNG — so the T14 hot-path workload must report the *same*
+    virtual time and the *same* per-type message counts with
+    ``trace_enabled`` on and off.  The acceptance bound is a <5% virtual
+    time delta; the expected delta is exactly zero.
+
+(b) **Percentiles are deterministic and meaningful.**  The per-site
+    :class:`~repro.obs.registry.MetricsRegistry` histograms report
+    p50/p95/p99 syscall latency through the benchmark harness's windowed
+    snapshots; under the T16 fault storm the tail (p99) must reflect the
+    outages that the median (p50) rides through.
+
+``python benchmarks/test_t17_observe.py`` writes BENCH_observe.json.
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro import LocusCluster
+from repro.config import CostModel
+from repro.errors import LocusError
+from repro.faults import FaultPlan
+from _harness import Measure, print_table, run_experiment
+
+DEPTH = 3
+FANOUT = 60
+REPEATS = 20
+
+STORM_SEEDS = [11, 23, 47]
+PAGE = 1024
+CONTENT = bytes((i * 13) % 256 for i in range(4 * PAGE))
+READS = 150
+READ_INTERVAL = 15.0
+WRITES = 30
+WRITE_INTERVAL = 150.0
+
+
+# -- scenario (a): the T14 remote-walk hot path, trace on vs off -----------
+
+def _walk_metrics(trace_enabled):
+    cost = CostModel().with_overrides(trace_enabled=trace_enabled)
+    cluster = LocusCluster(n_sites=2, seed=23, root_pack_sites=[0],
+                           cost=cost)
+    sh0 = cluster.shell(0)
+    path = ""
+    for d in range(DEPTH):
+        path += f"/dir{d}"
+        sh0.mkdir(path)
+        for i in range(FANOUT):
+            sh0.write_file(f"{path}/entry-{i:04d}", b"")
+    leaf = path + "/leaf"
+    sh0.write_file(leaf, b"L" * 2048)
+    cluster.settle()
+    sh1 = cluster.shell(1)
+    sh1.stat(leaf)
+    m = Measure(cluster)
+    for __ in range(REPEATS):
+        sh1.stat(leaf)
+    out = m.done()
+    out["spans"] = len(cluster.tracer.spans)
+    return out
+
+
+# -- scenario (b): T16 storm percentiles through the registry --------------
+
+def _storm(seed, t0):
+    return (FaultPlan(seed=seed, name="observe-storm")
+            .crash(t0 + 300.0, site=1)
+            .loss_burst(t0 + 1200.0, rate=0.08, duration=300.0)
+            .restart(t0 + 2000.0, site=1)
+            .heal(t0 + 2600.0)
+            .crash(t0 + 3200.0, site=2)
+            .latency_spike(t0 + 3600.0, delta=5.0, duration=400.0,
+                           src=0, dst=1)
+            .restart(t0 + 4800.0, site=2)
+            .heal(t0 + 5400.0)
+            .drop("fs.read_page", count=2, after_messages=600))
+
+
+def _storm_metrics(seed):
+    # Explicit default cost: tests/conftest.py's flag shim never applies.
+    cluster = LocusCluster(n_sites=3, seed=seed, root_pack_sites=[1, 2],
+                           cost=CostModel())
+    setup = cluster.shell(0)
+    setup.setcopies(2)
+    setup.write_file("/hot", CONTENT)
+    setup.write_file("/w", b"w" * 256)
+    cluster.settle()
+    t0 = cluster.sim.now
+    cluster.inject(_storm(seed, t0))
+
+    api = cluster.shell(0).api
+    completions = []
+
+    def reader():
+        for __ in range(READS):
+            try:
+                data = yield from api.read_file("/hot")
+                completions.append(data == CONTENT)
+            except LocusError:
+                completions.append(False)
+            yield READ_INTERVAL
+
+    def writer():
+        for i in range(WRITES):
+            try:
+                yield from api.write_file("/w", bytes([i % 251]) * 256)
+            except LocusError:
+                pass
+            yield WRITE_INTERVAL
+
+    m = Measure(cluster)
+    cluster.spawn(0, reader())
+    cluster.spawn(0, writer())
+    cluster.settle(max_time=40_000.0)
+    out = m.done()
+    out["completion_rate"] = round(sum(completions) / len(completions), 4)
+    out["spans"] = len(cluster.tracer.spans)
+    out["instants"] = len(cluster.tracer.instants)
+    return out
+
+
+def _experiment():
+    on = _walk_metrics(True)
+    off = _walk_metrics(False)
+    vtime_delta = (abs(on["vtime"] - off["vtime"]) / off["vtime"]
+                   if off["vtime"] else 0.0)
+    storms = {seed: _storm_metrics(seed) for seed in STORM_SEEDS}
+    return {
+        "walk_on": on,
+        "walk_off": off,
+        "vtime_delta": vtime_delta,
+        "storms": storms,
+    }
+
+
+@pytest.mark.benchmark(group="T17")
+def test_t17_trace_overhead(benchmark):
+    """T14 walk workload: tracing on/off changes nothing measurable."""
+    def _ab():
+        on = _walk_metrics(True)
+        off = _walk_metrics(False)
+        return {"on_vtime": on["vtime"], "off_vtime": off["vtime"],
+                "on_msgs": on["messages"], "off_msgs": off["messages"],
+                "on_by_type": on["by_type"], "off_by_type": off["by_type"],
+                "on_spans": on["spans"], "off_spans": off["spans"]}
+    out = run_experiment(benchmark, _ab)
+    print_table(
+        f"T17: {REPEATS} remote walks, flight recorder on vs off",
+        ["config", "vtime", "messages", "spans"],
+        [["trace on", out["on_vtime"], out["on_msgs"], out["on_spans"]],
+         ["trace off", out["off_vtime"], out["off_msgs"],
+          out["off_spans"]]])
+    # Acceptance: <5% virtual-time delta.  Expected: exactly zero, and
+    # identical per-type message counts — tracing is purely observational.
+    delta = abs(out["on_vtime"] - out["off_vtime"]) / out["off_vtime"]
+    assert delta < 0.05, delta
+    assert out["on_vtime"] == out["off_vtime"]
+    assert out["on_by_type"] == out["off_by_type"]
+    assert out["on_spans"] > 0 and out["off_spans"] == 0
+
+
+@pytest.mark.benchmark(group="T17")
+def test_t17_storm_percentiles(benchmark):
+    """T16 storm: registry percentiles capture the outage tail."""
+    def _one():
+        return _storm_metrics(STORM_SEEDS[0])
+    out = run_experiment(benchmark, _one)
+    lat = out["latency"]
+    assert "syscall.pread" in lat, sorted(lat)
+    pread = lat["syscall.pread"]
+    print_table(
+        f"T17: storm seed {STORM_SEEDS[0]} syscall latency (registry)",
+        ["metric", "count", "p50", "p95", "p99"],
+        [[name, d["count"], d["p50"], d["p95"], d["p99"]]
+         for name, d in sorted(lat.items())
+         if name.startswith("syscall.")])
+    assert pread["count"] >= READS * 0.95
+    assert pread["p99"] >= pread["p50"] > 0
+    # The storm's retries and failovers stretch the tail well past the
+    # healthy median read.
+    assert pread["p99"] > pread["p50"]
+    assert out["completion_rate"] >= 0.95
+    assert out["spans"] > 0 and out["instants"] > 0
+
+
+@pytest.mark.benchmark(group="T17")
+def test_t17_percentile_determinism(benchmark):
+    """The same seed reports byte-identical percentile dicts."""
+    def _twice():
+        a = _storm_metrics(STORM_SEEDS[0])
+        b = _storm_metrics(STORM_SEEDS[0])
+        return {"equal": a["latency"] == b["latency"]
+                and a["vtime"] == b["vtime"]
+                and a["spans"] == b["spans"]}
+    out = run_experiment(benchmark, _twice)
+    assert out["equal"]
+
+
+if __name__ == "__main__":
+    out = _experiment()
+    baseline = {
+        "experiment": "T17 flight-recorder overhead and percentiles",
+        "t14_walk": {
+            "trace_on": {k: out["walk_on"][k]
+                         for k in ("vtime", "messages", "spans")},
+            "trace_off": {k: out["walk_off"][k]
+                          for k in ("vtime", "messages", "spans")},
+            "vtime_delta": round(out["vtime_delta"], 6),
+            "latency": out["walk_on"]["latency"],
+        },
+        "t16_storm": {
+            str(seed): {
+                "completion_rate": m["completion_rate"],
+                "vtime": m["vtime"],
+                "spans": m["spans"],
+                "instants": m["instants"],
+                "latency": {name: d for name, d in m["latency"].items()
+                            if name.startswith(("syscall.", "rpc."))},
+            }
+            for seed, m in out["storms"].items()
+        },
+    }
+    with open("BENCH_observe.json", "w") as fh:
+        json.dump(baseline, fh, indent=2, default=str)
+        fh.write("\n")
+    json.dump(baseline, sys.stdout, indent=2, default=str)
+    print()

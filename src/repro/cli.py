@@ -8,11 +8,22 @@ and type ``help`` at the prompt.  Commands operate through an ordinary
 per-site shell, so everything the console does exercises the real system
 call paths; topology commands drive the experiment harness's hand on the
 cables (partition / heal / crash / restart).
+
+The ``trace`` subcommand runs a canned workload (or a FaultPlan file)
+with the flight recorder on and dumps the causal trace::
+
+    python -m repro.cli trace --workload storm --seed 11 --out /tmp/t \\
+        --check
+
+producing ``trace.jsonl`` (span schema, one record per line) and
+``trace.chrome.json`` (load in https://ui.perfetto.dev).  See
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import shlex
 import sys
 from typing import Dict, List, Optional
@@ -187,7 +198,133 @@ class Console:
     cmd_exit = cmd_quit
 
 
+# ----------------------------------------------------------------------
+# trace subcommand: run a workload or FaultPlan, dump the flight recording
+# ----------------------------------------------------------------------
+
+def _storm_plan(seed: int, t0: float):
+    """The T16 availability storm: crash/restart both storage sites, a
+    loss burst, a latency spike, a scripted read drop, audited heals."""
+    from repro.faults import FaultPlan
+    return (FaultPlan(seed=seed, name="trace-storm")
+            .crash(t0 + 300.0, site=1)
+            .loss_burst(t0 + 1200.0, rate=0.08, duration=300.0)
+            .restart(t0 + 2000.0, site=1)
+            .heal(t0 + 2600.0)
+            .crash(t0 + 3200.0, site=2)
+            .latency_spike(t0 + 3600.0, delta=5.0, duration=400.0,
+                           src=0, dst=1)
+            .restart(t0 + 4800.0, site=2)
+            .heal(t0 + 5400.0)
+            .drop("fs.read_page", count=2, after_messages=600))
+
+
+def _run_traced_workload(workload: str, seed: int, sites: int,
+                         plan_file: Optional[str] = None):
+    """Build a cluster with tracing on, drive the workload, return it."""
+    from repro.faults import FaultPlan
+
+    if workload == "storm":
+        cluster = LocusCluster(n_sites=max(sites, 3), seed=seed,
+                               root_pack_sites=[1, 2])
+    else:
+        cluster = LocusCluster(n_sites=sites, seed=seed,
+                               root_pack_sites=[0] if sites > 1 else None)
+    setup = cluster.shell(0)
+    setup.setcopies(min(2, sites))
+    content = bytes((i * 13) % 256 for i in range(4 * 1024))
+    setup.write_file("/hot", content)
+    setup.write_file("/w", b"w" * 256)
+    cluster.settle()
+    t0 = cluster.sim.now
+
+    if plan_file is not None:
+        with open(plan_file) as fh:
+            cluster.inject(FaultPlan.from_json(fh.read()))
+    elif workload == "storm":
+        cluster.inject(_storm_plan(seed, t0))
+
+    sim = cluster.sim
+    api = cluster.shell(0).api
+    n_reads = 60 if (workload == "storm" or plan_file) else 8
+    n_writes = 12 if (workload == "storm" or plan_file) else 2
+
+    def reader():
+        for __ in range(n_reads):
+            try:
+                yield from api.read_file("/hot")
+            except LocusError:
+                pass
+            yield 15.0
+
+    def writer():
+        for i in range(n_writes):
+            try:
+                yield from api.write_file("/w", bytes([i % 251]) * 256)
+            except LocusError:
+                pass
+            yield 150.0
+
+    cluster.spawn(0, reader())
+    cluster.spawn(0, writer())
+    cluster.settle(max_time=40_000.0)
+    return cluster
+
+
+def trace_main(argv: List[str]) -> int:
+    from repro.obs import export_chrome, export_jsonl, validate_trace_jsonl
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Run a workload with the flight recorder on and dump "
+                    "the trace (JSONL + Chrome/Perfetto format).")
+    parser.add_argument("--workload", choices=("smoke", "storm"),
+                        default="smoke")
+    parser.add_argument("--plan", default=None,
+                        help="FaultPlan JSON file to inject instead of the "
+                             "canned storm")
+    parser.add_argument("--sites", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the exported JSONL against the span "
+                             "schema; non-zero exit on problems")
+    opts = parser.parse_args(argv)
+
+    cluster = _run_traced_workload(opts.workload, opts.seed, opts.sites,
+                                   plan_file=opts.plan)
+    os.makedirs(opts.out, exist_ok=True)
+    jsonl_path = os.path.join(opts.out, "trace.jsonl")
+    chrome_path = os.path.join(opts.out, "trace.chrome.json")
+    n_records = export_jsonl(cluster.tracer, jsonl_path)
+    n_events = export_chrome(cluster.tracer, chrome_path)
+
+    tracer = cluster.tracer
+    print(f"workload={opts.workload} seed={opts.seed} "
+          f"vtime={cluster.sim.now:.1f}")
+    print(f"{len(tracer.spans)} spans, {len(tracer.instants)} instants")
+    print(f"wrote {jsonl_path} ({n_records} records)")
+    print(f"wrote {chrome_path} ({n_events} events)")
+    for site in cluster.sites:
+        for name, stats in sorted(
+                site.metrics.latency_summary("syscall.").items()):
+            print(f"  site{site.site_id} {name}: n={stats['count']} "
+                  f"p50={stats['p50']} p95={stats['p95']} "
+                  f"p99={stats['p99']}")
+    if opts.check:
+        problems = validate_trace_jsonl(jsonl_path)
+        if problems:
+            for p in problems:
+                print(f"SCHEMA: {p}", file=sys.stderr)
+            return 1
+        print("schema check: ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sites", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)

@@ -105,6 +105,15 @@ class CostModel:
     # full batches and ordering points flush).
     write_flush_deadline: float = 0.0
 
+    # Flight recorder (ISSUE 5).  With the flag on, every syscall, RPC and
+    # message handler records a causal span and a virtual-time latency
+    # sample (repro.obs); trace context rides message headers in a field
+    # excluded from the wire-size model, recording charges no CPU and adds
+    # no yield points, so virtual time and message counts are identical
+    # with tracing on or off.  Off leaves only the always-on metrics
+    # registry (plain counter/histogram updates).
+    trace_enabled: bool = True
+
     # Reconfiguration timers
     poll_timeout: float = 50.0      # RPC poll timeout used by reconfiguration
     merge_long_timeout: float = 200.0   # while expected sites missing

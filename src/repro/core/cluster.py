@@ -12,6 +12,7 @@ from repro.fs.manager import FsManager
 from repro.fs.mount import FilegroupInfo, MountTable
 from repro.fs.types import Gfile, Mode, ROOT_GFS
 from repro.net.network import Network
+from repro.obs.tracer import Tracer
 from repro.sim.simulator import Simulator
 from repro.storage.inode import DiskInode, FileType
 from repro.storage.pack import Pack, ROOT_INO
@@ -43,6 +44,12 @@ class LocusCluster:
         self.net = Network(self.sim, config.cost)
         self.sites: List[Site] = [Site(i, self.sim, self.net, config)
                                   for i in range(config.n_sites)]
+        # One flight recorder for the whole cluster: spans from every site
+        # land in one tree, ids flow from one counter (deterministic).
+        self.tracer = Tracer(self.sim, enabled=config.cost.trace_enabled)
+        self.net.tracer = self.tracer
+        for site in self.sites:
+            site.tracer = self.tracer
         # The program table stands in for compiled load-module bodies; the
         # load modules themselves are real files in the filesystem.
         self.programs: Dict[str, object] = {}

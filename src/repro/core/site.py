@@ -18,6 +18,7 @@ from repro.errors import (CircuitClosed, NetworkError, SiteDown, SimTimeout,
                           TaskCancelled, Unreachable)
 from repro.net.message import Message, MsgKind
 from repro.net.network import Network
+from repro.obs.registry import MetricsRegistry
 from repro.fs.name_cache import NameCache
 from repro.sim.simulator import Simulator
 from repro.sim.task import Task
@@ -47,6 +48,25 @@ class Site:
         # path cascades into it (see BufferCache.companion).
         self.name_cache = NameCache(self.cost.name_cache_entries)
         self.cache.companion = self.name_cache
+        # Flight recorder: per-site metrics are always on (observational,
+        # zero virtual-time cost); the shared tracer is attached by the
+        # cluster builder when cost.trace_enabled.
+        self.metrics = MetricsRegistry(f"site{site_id}")
+        self.tracer = None
+        self.metrics.register_source("cache", lambda: {
+            "pages": len(self.cache),
+            "hit_rate": round(self.cache.stats.hit_rate, 3),
+            "invalidations": self.cache.stats.invalidations,
+        })
+        self.metrics.register_source("name_cache", lambda: {
+            "dirs": len(self.name_cache),
+            "hit_rate": round(self.name_cache.stats.hit_rate, 3),
+            "fills": self.name_cache.stats.fills,
+            "stale_drops": self.name_cache.stats.stale_drops,
+            "invalidations": self.name_cache.stats.invalidations,
+            "neg_hits": self.name_cache.stats.neg_hits,
+            "neg_fills": self.name_cache.stats.neg_fills,
+        })
         self._handlers: Dict[str, Handler] = {}
         self._pending: Dict[Tuple[int, int], Any] = {}  # (peer, reqid) -> Future
         self._reqids = itertools.count(1)
@@ -93,32 +113,50 @@ class Site:
             # Local collapse: no messages (Figure 2's optimized cases).
             result = yield from self._dispatch(op, self.site_id, payload)
             return result
-        yield from self.cpu(self.cost.cpu_msg)          # message setup
-        reqid = next(self._reqids)
-        fut = self.sim.create_future(f"rpc:{op}->{dst}")
-        self._pending[(dst, reqid)] = fut
-        msg = self.net.make_message(self.site_id, dst, op,
-                                    MsgKind.REQUEST, payload, reqid=reqid)
+        tracer = self.tracer
+        start = self.sim.now
+        span = prev = None
+        if tracer is not None and tracer.enabled:
+            span, prev = tracer.begin(f"rpc:{op}", "rpc", self.site_id,
+                                      attrs={"dst": dst})
+        status_label = "ok"
         try:
-            self.net.send(self.site_id, dst, msg)
-        except Exception as exc:
-            self._pending.pop((dst, reqid), None)
-            if isinstance(exc, Unreachable) and self.topology is not None:
-                # Lazy failure detection: a failed send means the circuit
-                # to the peer is gone; the partition protocol must run.
-                self.topology.on_circuit_closed(dst, "send failed")
+            yield from self.cpu(self.cost.cpu_msg)      # message setup
+            reqid = next(self._reqids)
+            fut = self.sim.create_future(f"rpc:{op}->{dst}")
+            self._pending[(dst, reqid)] = fut
+            msg = self.net.make_message(self.site_id, dst, op,
+                                        MsgKind.REQUEST, payload,
+                                        reqid=reqid,
+                                        trace_ctx=span.ctx
+                                        if span is not None else None)
+            try:
+                self.net.send(self.site_id, dst, msg)
+            except Exception as exc:
+                self._pending.pop((dst, reqid), None)
+                if isinstance(exc, Unreachable) and self.topology is not None:
+                    # Lazy failure detection: a failed send means the circuit
+                    # to the peer is gone; the partition protocol must run.
+                    self.topology.on_circuit_closed(dst, "send failed")
+                raise
+            wait = fut if timeout is None else self.sim.with_timeout(
+                fut, timeout, label=f"{op}->{dst}")
+            try:
+                status, value = yield wait
+            except SimTimeout:
+                self._pending.pop((dst, reqid), None)
+                raise
+            yield from self.cpu(self.cost.cpu_msg)      # return processing
+            if status == "err":
+                raise value
+            return value
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
             raise
-        wait = fut if timeout is None else self.sim.with_timeout(
-            fut, timeout, label=f"{op}->{dst}")
-        try:
-            status, value = yield wait
-        except SimTimeout:
-            self._pending.pop((dst, reqid), None)
-            raise
-        yield from self.cpu(self.cost.cpu_msg)          # return processing
-        if status == "err":
-            raise value
-        return value
+        finally:
+            self.metrics.observe(f"rpc.{op}", self.sim.now - start)
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
 
     def supervised_rpc(self, dst, op: str, payload: Optional[dict] = None,
                        idempotent: bool = True,
@@ -146,19 +184,38 @@ class Site:
             retries = cost.rpc_retries
         if backoff is None:
             backoff = cost.rpc_backoff
-        attempt = 0
-        while True:
-            try:
-                result = yield from self.rpc(resolve(), op, payload,
-                                             timeout=timeout)
-                return result
-            except NetworkError:
-                if not idempotent or attempt >= retries or not self.up:
-                    raise
-                # Deterministic exponential backoff: gives the partition
-                # protocol time to converge before the retry resolves dst.
-                yield backoff * (2 ** attempt)
-                attempt += 1
+        tracer = self.tracer
+        span = prev = None
+        if tracer is not None and tracer.enabled:
+            span, prev = tracer.begin(f"srpc:{op}", "rpc", self.site_id)
+        status_label = "ok"
+        try:
+            attempt = 0
+            while True:
+                try:
+                    result = yield from self.rpc(resolve(), op, payload,
+                                                 timeout=timeout)
+                    return result
+                except NetworkError as exc:
+                    if not idempotent or attempt >= retries or not self.up:
+                        raise
+                    self.metrics.count("rpc.retries")
+                    if span is not None:
+                        tracer.event(span, "retry",
+                                     {"attempt": attempt,
+                                      "error": type(exc).__name__,
+                                      "backoff": backoff * (2 ** attempt)})
+                    # Deterministic exponential backoff: gives the partition
+                    # protocol time to converge before the retry resolves
+                    # dst.
+                    yield backoff * (2 ** attempt)
+                    attempt += 1
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
+            raise
+        finally:
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
 
     def oneway(self, dst: int, op: str,
                payload: Optional[dict] = None) -> Generator:
@@ -170,8 +227,11 @@ class Site:
             yield from self._dispatch(op, self.site_id, payload)
             return None
         yield from self.cpu(self.cost.cpu_msg)
+        ctx = None
+        if self.tracer is not None and self.tracer.enabled:
+            ctx = self.tracer.current_ctx()
         msg = self.net.make_message(self.site_id, dst, op,
-                                    MsgKind.ONEWAY, payload)
+                                    MsgKind.ONEWAY, payload, trace_ctx=ctx)
         self.net.send(self.site_id, dst, msg)
         return None
 
@@ -207,27 +267,48 @@ class Site:
 
     def _serve(self, msg: Message) -> Generator:
         """Message analysis, system-call continuation, send return message."""
-        yield from self.cpu(self.cost.cpu_msg)          # message analysis
-        response: Optional[Tuple[str, Any]]
+        tracer = self.tracer
+        span = prev = None
+        if tracer is not None and tracer.enabled:
+            # The handler span parents under the caller's rpc span carried
+            # in the message header — the cross-site causal link.
+            span, prev = tracer.begin(f"serve:{msg.mtype}", "handler",
+                                      self.site_id,
+                                      parent_ctx=msg.trace_ctx,
+                                      inherit=False,
+                                      attrs={"src": msg.src})
+        status_label = "ok"
         try:
-            value = yield from self._dispatch(msg.mtype, msg.src, msg.payload)
-            response = ("ok", value)
-        except TaskCancelled:
-            raise
-        except Exception as exc:  # noqa: BLE001 - errors return to caller
-            response = ("err", exc)
-        if msg.kind is MsgKind.ONEWAY:
+            yield from self.cpu(self.cost.cpu_msg)      # message analysis
+            response: Optional[Tuple[str, Any]]
+            try:
+                value = yield from self._dispatch(msg.mtype, msg.src,
+                                                  msg.payload)
+                response = ("ok", value)
+            except TaskCancelled:
+                raise
+            except Exception as exc:  # noqa: BLE001 - errors go to caller
+                response = ("err", exc)
+                status_label = f"err:{type(exc).__name__}"
+            if msg.kind is MsgKind.ONEWAY:
+                return None
+            yield from self.cpu(self.cost.cpu_msg)      # send return message
+            reply = self.net.make_message(self.site_id, msg.src, msg.mtype,
+                                          MsgKind.RESPONSE, response,
+                                          reqid=msg.reqid,
+                                          trace_ctx=msg.trace_ctx)
+            try:
+                self.net.send(self.site_id, msg.src, reply)
+            except Exception:
+                # Requester unreachable: it learns via its closed circuit.
+                pass
             return None
-        yield from self.cpu(self.cost.cpu_msg)          # send return message
-        reply = self.net.make_message(self.site_id, msg.src, msg.mtype,
-                                      MsgKind.RESPONSE, response,
-                                      reqid=msg.reqid)
-        try:
-            self.net.send(self.site_id, msg.src, reply)
-        except Exception:
-            # Requester unreachable: it will learn via its closed circuit.
-            pass
-        return None
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
+            raise
+        finally:
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
 
     def _on_circuit_closed(self, peer: int, reason: str) -> None:
         if not self.up:

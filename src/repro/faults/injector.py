@@ -195,6 +195,11 @@ class FaultInjector:
 
     def _note(self, kind: str, detail: str) -> None:
         self.trace.append((self.cluster.sim.now, kind, detail))
+        # Mirror every injector action onto the flight-recorder timeline so
+        # an exported trace shows faults alongside the spans they perturb.
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.instant(f"fault.{kind}", attrs={"detail": detail})
 
     def report(self) -> str:
         lines = [f"plan {self.plan.name!r} seed={self.plan.seed}: "

@@ -68,6 +68,7 @@ class FsManager(PathMixin, NamespaceMixin):
         self._delete_acks: Dict[Gfile, Set[int]] = {}
         self.propagator = Propagator(self)
         self._register_handlers()
+        self._register_metric_sources()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -106,6 +107,28 @@ class FsManager(PathMixin, NamespaceMixin):
         reg("fs.reap", self.h_reap)
         reg("fs.walk_path", self.h_walk_path)
         reg("fs.scrub_orphan", self.h_scrub_orphan)
+
+    def _register_metric_sources(self) -> None:
+        """Expose the fs-layer counters through the site registry so
+        inspection and benchmarks read one interface (repro.obs)."""
+        metrics = getattr(self.site, "metrics", None)
+        if metrics is None:
+            return
+        metrics.register_source("propagation", lambda: {
+            "pulls": self.propagator.stats.pulls,
+            "pages_pulled": self.propagator.stats.pages_pulled,
+            "range_requests": self.propagator.stats.range_requests,
+            "pipelined_rounds": self.propagator.stats.pipelined_rounds,
+            "manifest_requests": self.propagator.stats.manifest_requests,
+            "manifest_hits": self.propagator.stats.manifest_hits,
+            "sync_waits": self.propagator.stats.sync_waits,
+        })
+        metrics.register_source("write_behind", lambda: {
+            "staged_pages": sum(len(h.pending_writes)
+                                for h in self.us.values()),
+            "pages_sent_unacked": sum(h.pages_sent
+                                      for h in self.us.values()),
+        })
 
     def reset_volatile(self) -> None:
         """Crash: incore inodes and synchronization state vanish."""
@@ -163,6 +186,33 @@ class FsManager(PathMixin, NamespaceMixin):
         Unsynchronized reads of locally stored, propagation-clean files are
         served without informing the CSS (section 2.3.4).
         """
+        tracer = self.site.tracer
+        span = prev = None
+        if tracer is not None and tracer.enabled and mode.synchronized:
+            # Internal unsynchronized opens (pathname searching) stay
+            # inside the enclosing syscall span; real opens get their own.
+            span, prev = tracer.begin("fs.open", "fs", self.sid,
+                                      attrs={"gfile": list(gfile),
+                                             "mode": mode.name})
+        status_label = "ok"
+        start = self.site.sim.now
+        try:
+            handle = yield from self._open_gfile(gfile, mode, allow_conflict)
+            if span is not None:
+                tracer.annotate(span, "ss", handle.ss_site)
+            return handle
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
+            raise
+        finally:
+            if mode.synchronized:
+                self.site.metrics.observe("fs.open",
+                                          self.site.sim.now - start)
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
+
+    def _open_gfile(self, gfile: Gfile, mode: Mode,
+                    allow_conflict: bool = False) -> Generator:
         if mode.synchronized:
             yield from self.site.cpu(self.cost.cpu_syscall)
         else:
@@ -428,6 +478,15 @@ class FsManager(PathMixin, NamespaceMixin):
             return None
         busy = self.site.sim.create_future(f"failover:{handle.gfile}")
         handle.failover_busy = busy
+        self.site.metrics.count("fs.failovers")
+        tracer = self.site.tracer
+        failed_ss = handle.ss_site
+        if tracer is not None and tracer.enabled:
+            # Annotate the span whose work is being failed over (the
+            # enclosing syscall/recovery span carried by the task).
+            tracer.event_on(tracer.current_ctx(), "failover",
+                            {"gfile": list(handle.gfile),
+                             "failed_ss": failed_ss})
         try:
             old_version = handle.attrs["version"]
             replacement = yield from self.open_gfile(handle.gfile,
@@ -444,6 +503,11 @@ class FsManager(PathMixin, NamespaceMixin):
             handle.attrs = replacement.attrs
             handle.last_page = -2
             self.us.pop(replacement.hid, None)
+            if tracer is not None and tracer.enabled:
+                tracer.event_on(tracer.current_ctx(), "failover_complete",
+                                {"gfile": list(handle.gfile),
+                                 "failed_ss": failed_ss,
+                                 "new_ss": replacement.ss_site})
         finally:
             handle.failover_busy = None
             busy.resolve(None)
@@ -469,12 +533,19 @@ class FsManager(PathMixin, NamespaceMixin):
                 result = yield from self.site.rpc(handle.ss_site, op,
                                                   payload, timeout=timeout)
                 return result
-            except (NetworkError, EBADF, ESTALE):
+            except (NetworkError, EBADF, ESTALE) as exc:
                 if (not supervised or handle.closed
                         or attempt >= max(1, cost.rpc_retries)):
                     raise
                 attempt += 1
                 failed_ss = handle.ss_site
+                self.site.metrics.count("fs.read_retries")
+                tracer = self.site.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.event_on(tracer.current_ctx(), "read_retry",
+                                    {"attempt": attempt, "op": op,
+                                     "failed_ss": failed_ss,
+                                     "error": type(exc).__name__})
                 # Backoff first: gives the partition protocol time to agree
                 # on the new membership before the reopen picks a copy.
                 yield cost.rpc_backoff * (2 ** (attempt - 1))
@@ -1074,22 +1145,39 @@ class FsManager(PathMixin, NamespaceMixin):
             raise EBADF("commit on closed handle")
         if not handle.mode.writable:
             raise EBADF("commit needs a write open")
-        if handle.ss_site == self.sid:
-            vv = yield from self._ss_commit(handle.gfile)
-        else:
-            payload = {"gfile": handle.gfile}
-            if self.cost.batch_writes:
-                # Flush the write-behind remainder, then tell the SS how
-                # many page writes it must have received: a batch lost to a
-                # closed circuit fails the commit instead of half-applying.
-                yield from self._flush_writes(handle)
-                payload["expected_pages"] = handle.pages_sent
-            vv = yield from self.site.rpc(handle.ss_site, "fs.commit",
-                                          payload)
-        handle.pages_sent = 0
-        handle.dirty = False
-        handle.attrs["version"] = vv
-        return vv
+        tracer = self.site.tracer
+        span = prev = None
+        if tracer is not None and tracer.enabled:
+            span, prev = tracer.begin("fs.commit", "fs", self.sid,
+                                      attrs={"gfile": list(handle.gfile),
+                                             "ss": handle.ss_site})
+        status_label = "ok"
+        start = self.site.sim.now
+        try:
+            if handle.ss_site == self.sid:
+                vv = yield from self._ss_commit(handle.gfile)
+            else:
+                payload = {"gfile": handle.gfile}
+                if self.cost.batch_writes:
+                    # Flush the write-behind remainder, then tell the SS
+                    # how many page writes it must have received: a batch
+                    # lost to a closed circuit fails the commit instead of
+                    # half-applying.
+                    yield from self._flush_writes(handle)
+                    payload["expected_pages"] = handle.pages_sent
+                vv = yield from self.site.rpc(handle.ss_site, "fs.commit",
+                                              payload)
+            handle.pages_sent = 0
+            handle.dirty = False
+            handle.attrs["version"] = vv
+            return vv
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
+            raise
+        finally:
+            self.site.metrics.observe("fs.commit", self.site.sim.now - start)
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
 
     def abort(self, handle: UsHandle) -> Generator:
         """Undo changes back to the previous commit point."""

@@ -98,6 +98,11 @@ class Propagator:
     def is_pending(self, gfile: Gfile) -> bool:
         return gfile in self._pending
 
+    def pending(self) -> List[Gfile]:
+        """Files queued (or mid-pull) for propagation, sorted — the public
+        accessor used by inspection and the metrics registry."""
+        return sorted(self._pending)
+
     def is_pulling(self, gfile: Gfile) -> bool:
         return gfile in self._pulling
 

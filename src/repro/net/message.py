@@ -34,6 +34,11 @@ class Message:
     size: int = 0                     # payload bytes for the wire-time model
     reqid: int = 0                    # request/response correlation
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    # Flight-recorder context (trace_id, span_id) of the span this message
+    # serves.  Rides the header, not the payload: excluded from the
+    # wire-size model so message counts and virtual time are identical
+    # with tracing on or off.
+    trace_ctx: Any = None
 
     def stat_key(self) -> str:
         """Aggregation key: responses are counted under ``mtype.resp``."""

@@ -15,6 +15,7 @@ from repro.config import CostModel
 from repro.errors import SiteDown, Unreachable
 from repro.net.message import Message, MsgKind, payload_size
 from repro.net.stats import NetStats
+from repro.obs.registry import MetricsRegistry
 from repro.sim.simulator import Simulator
 
 DeliverFn = Callable[[Message], None]
@@ -64,6 +65,11 @@ class Network:
         # as scripted loss — the circuit closes exactly as for random loss.
         self.taps: List[Callable[[Message], None]] = []
         self.drop_filters: List[Callable[[Message], bool]] = []
+        # Flight recorder (repro.obs): the cluster builder attaches the
+        # shared tracer; the registry records the wire-time vs queue-wait
+        # split per message.  Both are observational only.
+        self.tracer = None
+        self.metrics = MetricsRegistry("net")
 
     # -- membership -----------------------------------------------------
 
@@ -107,6 +113,10 @@ class Network:
                 if site not in self._deliver_fns:
                     raise ValueError(f"unknown site {site}")
                 self._group[site] = gid
+        if self.tracer is not None:
+            self.tracer.instant("net.partition", attrs={
+                "groups": sorted(sorted(g) for g in
+                                 self._segment_members().values())})
         self._notify_broken(old_pairs, "network partitioned")
 
     def heal(self) -> None:
@@ -117,6 +127,14 @@ class Network:
         """
         for site in self._group:
             self._group[site] = 0
+        if self.tracer is not None:
+            self.tracer.instant("net.heal")
+
+    def _segment_members(self) -> Dict[int, list]:
+        members: Dict[int, list] = {}
+        for site, gid in self._group.items():
+            members.setdefault(gid, []).append(site)
+        return members
 
     def fail_site(self, site_id: int) -> None:
         """Crash a site: it stops receiving and all its circuits close."""
@@ -163,12 +181,24 @@ class Network:
             self.stats.dropped += 1
             self._close_circuit(frozenset((src, dst)), "message lost")
             return
-        arrival = self.sim.now + self.latency(src, dst, msg.size)
+        wire = self.latency(src, dst, msg.size)
+        arrival = self.sim.now + wire
         key = (src, dst)
         floor = self._last_delivery.get(key, 0.0)
+        queue_wait = 0.0
         if arrival <= floor:
             arrival = floor + 1e-9      # FIFO: queue behind the predecessor
+            queue_wait = arrival - self.sim.now - wire
         self._last_delivery[key] = arrival
+        # Flight recorder: split transit into pure wire time and the FIFO
+        # queue wait behind circuit predecessors (observational only).
+        self.metrics.observe("net.wire", wire)
+        if queue_wait > 0.0:
+            self.metrics.observe("net.queue_wait", queue_wait)
+            if self.tracer is not None and msg.trace_ctx is not None:
+                self.tracer.event_on(msg.trace_ctx, "queue_wait",
+                                     {"delay": queue_wait,
+                                      "mtype": msg.stat_key()})
         self.sim.schedule(arrival - self.sim.now, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
@@ -184,10 +214,10 @@ class Network:
         self._deliver_fns[msg.dst](msg)
 
     def make_message(self, src: int, dst: int, mtype: str, kind: MsgKind,
-                     payload, reqid: int = 0) -> Message:
+                     payload, reqid: int = 0, trace_ctx=None) -> Message:
         return Message(src=src, dst=dst, mtype=mtype, kind=kind,
                        payload=payload, size=payload_size(payload),
-                       reqid=reqid)
+                       reqid=reqid, trace_ctx=trace_ctx)
 
     # -- circuits ----------------------------------------------------------
 
@@ -230,7 +260,12 @@ class Network:
             return
         circuit.open = False
         self.stats.circuits_closed += 1
+        self.metrics.count("net.circuits_closed")
         a, b = tuple(pair)
+        if self.tracer is not None:
+            self.tracer.instant("net.circuit_closed",
+                                attrs={"pair": sorted(pair),
+                                       "reason": reason})
         # The FIFO floor only orders messages within one circuit incarnation;
         # dropping it here keeps _last_delivery from growing without bound
         # across partitions and crashes (a fresh circuit starts fresh).

@@ -51,6 +51,8 @@ class NetStats:
             pages=Counter(self.pages),
             delivered=self.delivered,
             dropped=self.dropped,
+            circuits_opened=self.circuits_opened,
+            circuits_closed=self.circuits_closed,
         )
 
     def by_prefix(self, prefix: str) -> Dict[str, int]:
@@ -65,6 +67,8 @@ class StatsSnapshot:
     delivered: int
     dropped: int
     pages: Counter = field(default_factory=Counter)
+    circuits_opened: int = 0
+    circuits_closed: int = 0
 
     def diff(self, later: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated between ``self`` (earlier) and ``later``."""
@@ -80,6 +84,8 @@ class StatsSnapshot:
                            if v - self.pages.get(k, 0)}),
             delivered=later.delivered - self.delivered,
             dropped=later.dropped - self.dropped,
+            circuits_opened=later.circuits_opened - self.circuits_opened,
+            circuits_closed=later.circuits_closed - self.circuits_closed,
         )
 
     @property

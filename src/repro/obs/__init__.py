@@ -1,0 +1,19 @@
+"""Cluster-wide flight recorder: causal tracing, latency histograms, export.
+
+See docs/OBSERVABILITY.md for the span model and export formats.
+"""
+
+from repro.obs.histogram import (BUCKET_EDGES, HistSnapshot, Histogram,
+                                 merge_snapshots)
+from repro.obs.registry import MetricsRegistry, RegistrySnapshot
+from repro.obs.span import Span, SpanCtx
+from repro.obs.tracer import Tracer, traced_syscall
+from repro.obs.export import (causal_chains, export_chrome, export_jsonl,
+                              trace_records, validate_trace_jsonl)
+
+__all__ = [
+    "BUCKET_EDGES", "Histogram", "HistSnapshot", "merge_snapshots",
+    "MetricsRegistry", "RegistrySnapshot", "Span", "SpanCtx", "Tracer",
+    "traced_syscall", "causal_chains", "export_chrome", "export_jsonl",
+    "trace_records", "validate_trace_jsonl",
+]

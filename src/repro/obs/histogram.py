@@ -1,0 +1,134 @@
+"""Fixed-bucket latency histograms for the flight recorder.
+
+The bucket ladder is a 1-2-5 geometric series over virtual-time units.
+Percentiles are reported as the upper edge of the smallest bucket whose
+cumulative count reaches the requested rank — a pure function of the
+bucket counts, so the same run always reports the same p50/p95/p99 no
+matter the platform or insertion order.  That determinism is the whole
+point: replaying a seed must produce byte-identical exports.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _ladder() -> Tuple[float, ...]:
+    """1-2-5 series from 0.1 to 100000 virtual-time units."""
+    edges: List[float] = []
+    scale = 0.1
+    while scale <= 10000.0:
+        for mult in (1.0, 2.0, 5.0):
+            edges.append(scale * mult)
+        scale *= 10.0
+    edges.append(100000.0)
+    return tuple(edges)
+
+
+BUCKET_EDGES: Tuple[float, ...] = _ladder()   # upper edges; +1 overflow bucket
+
+
+class Histogram:
+    """Counts of observations per fixed bucket, plus running aggregates."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.counts: List[int] = [0] * (len(BUCKET_EDGES) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(BUCKET_EDGES, value)
+        self.counts[idx] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper edge of the bucket holding the p-th percentile (0 < p <= 100).
+
+        The overflow bucket reports the top finite edge — observations past
+        the ladder are already pathological enough to flag at that value.
+        """
+        return percentile_of(self.counts, self.count, p)
+
+    def snapshot(self) -> "HistSnapshot":
+        return HistSnapshot(counts=tuple(self.counts), count=self.count,
+                            total=self.total)
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+def percentile_of(counts: Sequence[int], count: int, p: float) -> float:
+    if count <= 0:
+        return 0.0
+    rank = max(1, -(-int(p * count) // 100))   # ceil(p*count/100), >= 1
+    seen = 0
+    for idx, n in enumerate(counts):
+        seen += n
+        if seen >= rank:
+            return BUCKET_EDGES[min(idx, len(BUCKET_EDGES) - 1)]
+    return BUCKET_EDGES[-1]
+
+
+@dataclass(frozen=True)
+class HistSnapshot:
+    """Immutable point-in-time copy; ``diff`` gives the window between two."""
+
+    counts: Tuple[int, ...]
+    count: int
+    total: float
+
+    def diff(self, later: "HistSnapshot") -> "HistSnapshot":
+        return HistSnapshot(
+            counts=tuple(b - a for a, b in zip(self.counts, later.counts)),
+            count=later.count - self.count,
+            total=later.total - self.total,
+        )
+
+    def percentile(self, p: float) -> float:
+        return percentile_of(self.counts, self.count, p)
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "mean": round(self.total / self.count, 6) if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+def merge_snapshots(snaps: Sequence[HistSnapshot]) -> HistSnapshot:
+    """Sum bucket counts across sites (cluster-wide percentile view)."""
+    counts = [0] * (len(BUCKET_EDGES) + 1)
+    count = 0
+    total = 0.0
+    for s in snaps:
+        for i, n in enumerate(s.counts):
+            counts[i] += n
+        count += s.count
+        total += s.total
+    return HistSnapshot(counts=tuple(counts), count=count, total=total)

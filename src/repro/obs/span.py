@@ -1,0 +1,67 @@
+"""Causal spans: one timed region of kernel work on one site.
+
+A span's context is the ``(trace_id, span_id)`` pair.  The context rides
+along three transports to form the causal tree:
+
+* task-level — every :class:`~repro.sim.task.Task` carries ``span_ctx``,
+  inherited at spawn time, so nested kernel procedures parent correctly;
+* message headers — :class:`~repro.net.message.Message.trace_ctx` carries
+  the caller's context to the serving site (and back on the response);
+* explicit hand-off — failover and recovery paths re-anchor work onto the
+  span that caused it.
+
+Span ids are allocated from one monotonic counter per tracer, so the same
+seed and fault plan always numbers the tree identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# (trace_id, span_id) — what tasks and message headers actually carry.
+SpanCtx = Tuple[int, int]
+
+
+@dataclass
+class Span:
+    span_id: int
+    trace_id: int
+    parent_id: Optional[int]       # span_id of the parent, None at a root
+    name: str                      # e.g. "syscall.open", "rpc:fs.read_page"
+    kind: str                      # syscall | rpc | handler | fs | recovery
+    site: Optional[int]            # executing site (None for cluster-level)
+    start: float
+    end: Optional[float] = None
+    status: str = "ok"
+    attrs: Dict = field(default_factory=dict)
+    # Timed annotations within the span: (vtime, name, attrs).
+    events: List[Tuple[float, str, Dict]] = field(default_factory=list)
+
+    @property
+    def ctx(self) -> SpanCtx:
+        return (self.trace_id, self.span_id)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "site": self.site,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": self.attrs,
+            "events": [list(e) for e in self.events],
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Span #{self.span_id} trace={self.trace_id} {self.name} "
+                f"site={self.site} [{self.start}..{self.end}] {self.status}>")

@@ -1,0 +1,177 @@
+"""The flight recorder: builds the causal span tree for a whole cluster.
+
+One tracer is shared by every site of a cluster (spans from all sites land
+in one ordered list, ids from one counter).  Recording is observational
+only — it never charges CPU, sends messages, adds yield points, or touches
+the simulator RNG — so a run's virtual-time behaviour and message counts
+are identical with tracing on or off, and identical seeds yield identical
+span trees.
+
+Instrumented code uses the begin/finish pair around a timed region::
+
+    span = prev = None
+    if tracer is not None and tracer.enabled:
+        span, prev = tracer.begin("rpc:fs.open", "rpc", self.site_id)
+    try:
+        ...
+    finally:
+        if span is not None:
+            tracer.finish(span, prev, status=status)
+
+``begin`` parents the new span under the running task's context (or an
+explicit ``parent_ctx``, e.g. a message header) and re-points the task at
+the new span so nested work nests in the tree; ``finish`` restores it.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.span import Span, SpanCtx
+
+
+class Tracer:
+
+    def __init__(self, sim, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.instants: List[Dict] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._instant_seq = itertools.count(1)
+        self._by_id: Dict[int, Span] = {}
+
+    # -- task context ----------------------------------------------------
+
+    def current_ctx(self) -> Optional[SpanCtx]:
+        task = self.sim.current_task
+        return task.span_ctx if task is not None else None
+
+    def set_ctx(self, ctx: Optional[SpanCtx]) -> None:
+        task = self.sim.current_task
+        if task is not None:
+            task.span_ctx = ctx
+
+    # -- spans -----------------------------------------------------------
+
+    def begin(self, name: str, kind: str, site: Optional[int],
+              parent_ctx: Optional[SpanCtx] = None,
+              attrs: Optional[Dict] = None,
+              inherit: bool = True) -> Tuple[Optional[Span],
+                                             Optional[SpanCtx]]:
+        """Open a span and make it the running task's context.
+
+        Returns ``(span, previous_ctx)`` — pass both to :meth:`finish`.
+        With ``parent_ctx`` unset the span parents under the current task
+        context (``inherit=False`` forces a fresh root trace instead).
+        """
+        if not self.enabled:
+            return (None, None)
+        prev = self.current_ctx()
+        if parent_ctx is None and inherit:
+            parent_ctx = prev
+        if parent_ctx is not None:
+            trace_id, parent_id = parent_ctx
+        else:
+            trace_id, parent_id = next(self._trace_ids), None
+        span = Span(span_id=next(self._span_ids), trace_id=trace_id,
+                    parent_id=parent_id, name=name, kind=kind, site=site,
+                    start=self.sim.now, attrs=dict(attrs) if attrs else {})
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        self.set_ctx(span.ctx)
+        return (span, prev)
+
+    def finish(self, span: Optional[Span], prev: Optional[SpanCtx],
+               status: str = "ok") -> None:
+        if span is None:
+            return
+        if span.end is None:
+            span.end = self.sim.now
+            span.status = status
+        self.set_ctx(prev)
+
+    def annotate(self, span: Optional[Span], key: str, value) -> None:
+        if span is not None:
+            span.attrs[key] = value
+
+    def event(self, span: Optional[Span], name: str,
+              attrs: Optional[Dict] = None) -> None:
+        if span is not None:
+            span.events.append((self.sim.now, name, attrs or {}))
+
+    def event_on(self, ctx: Optional[SpanCtx], name: str,
+                 attrs: Optional[Dict] = None) -> None:
+        """Annotate the span a context names (e.g. from a message header)."""
+        if not self.enabled or ctx is None:
+            return
+        span = self._by_id.get(ctx[1])
+        if span is not None:
+            span.events.append((self.sim.now, name, attrs or {}))
+
+    # -- instants --------------------------------------------------------
+
+    def instant(self, name: str, site: Optional[int] = None,
+                attrs: Optional[Dict] = None) -> None:
+        """A zero-duration timeline event (fault fired, epoch changed...)."""
+        if not self.enabled:
+            return
+        self.instants.append({
+            "type": "instant",
+            "seq": next(self._instant_seq),
+            "ts": self.sim.now,
+            "name": name,
+            "site": site,
+            "attrs": attrs or {},
+        })
+
+    # -- queries (tests, export, inspection) -----------------------------
+
+    def span(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def children(self, span_id: int) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def trace_spans(self, trace_id: int) -> List[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def roots(self, name_prefix: str = "") -> List[Span]:
+        return [s for s in self.spans
+                if s.parent_id is None and s.name.startswith(name_prefix)]
+
+
+def traced_syscall(name: str, fn):
+    """Wrap a ProcApi generator method with a syscall span + latency sample.
+
+    Pure ``yield from`` delegation: no extra yield points, no CPU charges —
+    the wrapped syscall's virtual-time behaviour is unchanged.
+    """
+    label = f"syscall.{name}"
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        site = self.site
+        metrics = getattr(site, "metrics", None)
+        tracer = getattr(site, "tracer", None)
+        start = site.sim.now
+        span = prev = None
+        if tracer is not None and tracer.enabled:
+            span, prev = tracer.begin(label, "syscall", site.site_id)
+        status = "ok"
+        try:
+            result = yield from fn(self, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status = type(exc).__name__
+            raise
+        finally:
+            if metrics is not None:
+                metrics.observe(label, site.sim.now - start)
+            if span is not None:
+                tracer.finish(span, prev, status=status)
+        return result
+
+    return wrapper

@@ -13,6 +13,7 @@ from typing import Generator, List, Optional
 
 from repro.errors import EBADF, EINVAL, EISDIR
 from repro.fs.types import Mode
+from repro.obs.tracer import traced_syscall
 from repro.proc.process import Process, Signal
 from repro.storage.inode import FileType
 
@@ -389,3 +390,27 @@ class ProcApi:
                 "data_pages": data_pages, "reentrant": reentrant}
         yield from self.write_file(path, json.dumps(spec).encode())
         return None
+
+# ----------------------------------------------------------------------
+# Flight recorder (repro.obs): every public system call records a
+# virtual-time latency sample in the site's MetricsRegistry and, with
+# tracing on, opens a causal span that nested RPCs and handlers parent
+# under.  The wrapper is pure ``yield from`` delegation — no extra yield
+# points, CPU charges, or messages — so syscall behaviour is unchanged.
+# The conveniences (write_file, read_file, ...) stay unwrapped: they
+# compose wrapped syscalls.  ``exit`` and ``sigwait`` stay unwrapped too —
+# one unwinds the process, the other blocks indefinitely by design, so a
+# latency sample would be noise.
+# ----------------------------------------------------------------------
+
+_TRACED_SYSCALLS = (
+    "open", "read", "write", "pread", "pwrite", "lseek", "close", "dup",
+    "commit", "abort", "fstat", "mkdir", "rmdir", "unlink", "link",
+    "rename", "readdir", "stat", "chmod", "chown", "chdir", "add_replica",
+    "drop_replica", "pipe", "mkfifo", "mknod_device", "fork", "run",
+    "exec", "wait", "kill",
+)
+
+for _name in _TRACED_SYSCALLS:
+    setattr(ProcApi, _name, traced_syscall(_name, getattr(ProcApi, _name)))
+del _name

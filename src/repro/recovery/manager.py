@@ -68,8 +68,35 @@ class RecoveryManager:
     # ------------------------------------------------------------------
 
     def schedule_filegroup(self, gfs: int) -> None:
-        self.site.spawn(self.reconcile_filegroup(gfs),
+        self.site.spawn(self._traced_sweep(gfs),
                         name=f"recovery:fg{gfs}@{self.sid}")
+
+    def _traced_sweep(self, gfs: int) -> Generator:
+        """Run one recovery sweep under its own root span, bracketed by
+        instant events so the pass shows up on the exported timeline."""
+        tracer = getattr(self.site, "tracer", None)
+        span = prev = None
+        if tracer is not None and tracer.enabled:
+            tracer.instant("recovery.start", site=self.sid,
+                           attrs={"gfs": gfs})
+            span, prev = tracer.begin(f"recovery:fg{gfs}", "recovery",
+                                      self.sid, inherit=False,
+                                      attrs={"gfs": gfs})
+        status_label = "ok"
+        try:
+            result = yield from self.reconcile_filegroup(gfs)
+            return result
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
+            raise
+        finally:
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
+                tracer.instant("recovery.complete", site=self.sid,
+                               attrs={"gfs": gfs,
+                                      "files_examined":
+                                          self.stats.files_examined,
+                                      "status": status_label})
 
     def needs(self, gfile: Gfile) -> bool:
         return gfile[1] in self.pending.get(gfile[0], ())
@@ -80,6 +107,11 @@ class RecoveryManager:
         gfs, ino = gfile
         if not self.needs(gfile):
             return None
+        tracer = getattr(self.site, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            # The delayed access's span shows why it waited.
+            tracer.event_on(tracer.current_ctx(), "demand_recovery",
+                            {"gfile": list(gfile)})
         inventories = self._sweep_inventories.get(gfs, {})
         self.pending.get(gfs, set()).discard(ino)
         yield from self._reconcile_ino(gfs, ino, inventories)

@@ -44,6 +44,11 @@ class Simulator:
         self._seq = 0
         self.events_processed = 0
         self.tasks_spawned = 0
+        # The task whose generator is being stepped right now (None between
+        # steps).  Carries the flight recorder's span context: a task
+        # spawned while another runs inherits its causal position, and the
+        # tracer reads/writes ``current_task.span_ctx`` to nest spans.
+        self.current_task: Optional[Task] = None
         # Called whenever the event queue drains completely — the moment the
         # whole system is quiescent.  The fault engine's InvariantChecker
         # hangs its post-heal fsck here so checks never race in-flight

@@ -16,13 +16,18 @@ class Task:
     (``yield task.done``).
     """
 
-    __slots__ = ("sim", "gen", "name", "done", "_cancelled", "_waiting_on")
+    __slots__ = ("sim", "gen", "name", "done", "span_ctx", "_cancelled",
+                 "_waiting_on")
 
     def __init__(self, sim, gen: Generator, name: str = ""):
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "task")
         self.done = Future(label=f"done:{self.name}")
+        # Flight-recorder span context, inherited from the spawning task so
+        # background work parents under the syscall that caused it.
+        parent = sim.current_task
+        self.span_ctx = parent.span_ctx if parent is not None else None
         self._cancelled = False
         self._waiting_on: Optional[Future] = None
 
@@ -51,26 +56,40 @@ class Task:
     def _step_send(self, value: Any) -> None:
         if self.finished:
             return
+        sim = self.sim
+        prev_task = sim.current_task
+        sim.current_task = self
         try:
-            yielded = self.gen.send(value)
-        except StopIteration as stop:
-            self.done.resolve(stop.value)
-        except BaseException as exc:  # noqa: BLE001 - task failure is data
-            self.done.fail(exc)
-        else:
-            self._handle_yield(yielded)
+            try:
+                yielded = self.gen.send(value)
+            except StopIteration as stop:
+                self.done.resolve(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - failure is data
+                self.done.fail(exc)
+                return
+        finally:
+            sim.current_task = prev_task
+        self._handle_yield(yielded)
 
     def _step_throw(self, exc: BaseException) -> None:
         if self.finished:
             return
+        sim = self.sim
+        prev_task = sim.current_task
+        sim.current_task = self
         try:
-            yielded = self.gen.throw(exc)
-        except StopIteration as stop:
-            self.done.resolve(stop.value)
-        except BaseException as err:  # noqa: BLE001
-            self.done.fail(err)
-        else:
-            self._handle_yield(yielded)
+            try:
+                yielded = self.gen.throw(exc)
+            except StopIteration as stop:
+                self.done.resolve(stop.value)
+                return
+            except BaseException as err:  # noqa: BLE001
+                self.done.fail(err)
+                return
+        finally:
+            sim.current_task = prev_task
+        self._handle_yield(yielded)
 
     def _handle_yield(self, yielded: Any) -> None:
         if self._cancelled:

@@ -1,4 +1,11 @@
-"""Live cluster introspection: the operator's view of kernel state."""
+"""Live cluster introspection: the operator's view of kernel state.
+
+Subsystem counters are read through each site's
+:class:`~repro.obs.registry.MetricsRegistry` (the buffer cache, name cache,
+propagation, and write-behind counters register themselves as gauge
+sources), so this module never reaches into private attributes; syscall and
+RPC latency percentiles come from the same registry's histograms.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +15,8 @@ from typing import Dict, List
 def site_report(site) -> Dict:
     """One site's kernel state snapshot."""
     fs = site.fs
-    return {
+    gauges = site.metrics.gauges()
+    report = {
         "site": site.site_id,
         "up": site.up,
         "cpu_type": site.cpu_type,
@@ -24,42 +32,36 @@ def site_report(site) -> Dict:
         "css_entries": sorted(fs.css_entries),
         "css_for": {gfs: fs.mount.css.get(gfs)
                     for gfs in fs.mount.groups},
-        "propagation_pending": sorted(fs.propagator._pending),
-        "cache": {
-            "pages": len(site.cache),
-            "hit_rate": round(site.cache.stats.hit_rate, 3),
-            "invalidations": site.cache.stats.invalidations,
-        },
-        "name_cache": {
-            "dirs": len(site.name_cache),
-            "hit_rate": round(site.name_cache.stats.hit_rate, 3),
-            "fills": site.name_cache.stats.fills,
-            "stale_drops": site.name_cache.stats.stale_drops,
-            "invalidations": site.name_cache.stats.invalidations,
-            "neg_hits": site.name_cache.stats.neg_hits,
-            "neg_fills": site.name_cache.stats.neg_fills,
-        },
-        "propagation": {
-            "pulls": fs.propagator.stats.pulls,
-            "pages_pulled": fs.propagator.stats.pages_pulled,
-            "range_requests": fs.propagator.stats.range_requests,
-            "pipelined_rounds": fs.propagator.stats.pipelined_rounds,
-            "manifest_requests": fs.propagator.stats.manifest_requests,
-            "manifest_hits": fs.propagator.stats.manifest_hits,
-            "sync_waits": fs.propagator.stats.sync_waits,
-        },
-        "write_behind": {
-            "staged_pages": sum(len(h.pending_writes)
-                                for h in fs.us.values()),
-            "pages_sent_unacked": sum(h.pages_sent for h in fs.us.values()),
-        },
+        "propagation_pending": fs.propagator.pending(),
         "processes": sorted(site.proc.procs) if site.proc else [],
         "active_transactions": sorted(site.tx.txs) if site.tx else [],
+        "latency": _latency_block(site.metrics),
     }
+    # Gauge sources: cache, name_cache, propagation, write_behind (and
+    # whatever future subsystems register).
+    report.update(gauges)
+    return report
+
+
+def _latency_block(metrics) -> Dict[str, Dict]:
+    """p50/p95/p99 per syscall and RPC op, from the registry histograms."""
+    out: Dict[str, Dict] = {}
+    for name, hist in sorted(metrics.hists.items()):
+        if not hist.count:
+            continue
+        out[name] = {
+            "count": hist.count,
+            "p50": hist.percentile(50),
+            "p95": hist.percentile(95),
+            "p99": hist.percentile(99),
+        }
+    return out
 
 
 def cluster_report(cluster) -> Dict:
     """Whole-cluster snapshot plus global traffic statistics."""
+    tracer = getattr(cluster, "tracer", None)
+    net_metrics = cluster.net.metrics
     return {
         "vtime": round(cluster.sim.now, 2),
         "events_processed": cluster.sim.events_processed,
@@ -69,12 +71,20 @@ def cluster_report(cluster) -> Dict:
             "bytes": cluster.stats.total_bytes,
             "delivered": cluster.stats.delivered,
             "dropped": cluster.stats.dropped,
+            "circuits_opened": cluster.stats.circuits_opened,
+            "circuits_closed": cluster.stats.circuits_closed,
             "top_message_types": dict(
                 sorted(cluster.stats.sent.items(),
                        key=lambda kv: -kv[1])[:10]),
             "pages_per_message": {
                 k: round(cluster.stats.pages_per_message(k), 2)
                 for k in sorted(cluster.stats.pages)},
+            "latency": _latency_block(net_metrics),
+        },
+        "trace": {
+            "enabled": tracer is not None and tracer.enabled,
+            "spans": len(tracer.spans) if tracer is not None else 0,
+            "instants": len(tracer.instants) if tracer is not None else 0,
         },
     }
 
@@ -94,8 +104,20 @@ def format_report(report: Dict) -> str:
             f"open={s['open_us_handles']} procs={len(s['processes'])} "
             f"cache_hit={s['cache']['hit_rate']} "
             f"name_hit={s['name_cache']['hit_rate']}")
+        lat = s.get("latency") or {}
+        syscalls = {k: v for k, v in lat.items()
+                    if k.startswith("syscall.")}
+        if syscalls:
+            worst = max(syscalls.items(), key=lambda kv: kv[1]["p99"])
+            lines.append(
+                f"    latency: {len(syscalls)} syscalls tracked, "
+                f"worst p99 {worst[0]}={worst[1]['p99']}")
     ppm = report["network"].get("pages_per_message") or {}
     if ppm:
         lines.append("  pages/msg: " + "  ".join(
             f"{k}={v}" for k, v in ppm.items()))
+    trace = report.get("trace") or {}
+    if trace.get("enabled"):
+        lines.append(f"  trace: {trace['spans']} spans, "
+                     f"{trace['instants']} instants")
     return "\n".join(lines)

@@ -1,0 +1,378 @@
+"""The flight recorder: histograms, registry, causal traces, exports.
+
+The load-bearing guarantees tested here:
+
+* histograms and percentiles are pure functions of the bucket counts
+  (deterministic across platforms and insertion orders);
+* tracing is observational only — the same seed produces the same virtual
+  time and message counts with ``trace_enabled`` on or off;
+* the same seed + fault plan exports byte-identical trace files;
+* a fault-storm trace contains complete causal chains (US syscall span →
+  RPC span → SS handler span) with fault instants and failover
+  annotations attached.
+"""
+
+import filecmp
+import json
+
+import pytest
+
+from repro import LocusCluster
+from repro.config import CostModel
+from repro.errors import LocusError
+from repro.obs import (BUCKET_EDGES, Histogram, MetricsRegistry,
+                       causal_chains, export_chrome, export_jsonl,
+                       merge_snapshots, validate_trace_jsonl)
+
+
+# ----------------------------------------------------------------------
+# Histogram / registry units
+# ----------------------------------------------------------------------
+
+class TestHistogram:
+    def test_bucket_ladder_shape(self):
+        assert BUCKET_EDGES[0] == pytest.approx(0.1)
+        assert BUCKET_EDGES[-1] == 100000.0
+        assert list(BUCKET_EDGES) == sorted(BUCKET_EDGES)
+
+    def test_observe_and_aggregates(self):
+        h = Histogram()
+        for v in (0.05, 1.0, 3.0, 250.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(254.05)
+        assert h.min == pytest.approx(0.05)
+        assert h.max == pytest.approx(250.0)
+        assert h.mean == pytest.approx(254.05 / 4)
+
+    def test_percentile_is_bucket_upper_edge(self):
+        h = Histogram()
+        for __ in range(99):
+            h.observe(0.9)     # bucket with edge 1.0
+        h.observe(90.0)        # bucket with edge 100.0
+        assert h.percentile(50) == 1.0
+        assert h.percentile(99) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_percentile_insertion_order_invariant(self):
+        values = [0.3, 7.0, 42.0, 0.15, 900.0, 3.0, 3.0, 61.0]
+        a, b = Histogram(), Histogram()
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        for p in (50, 95, 99):
+            assert a.percentile(p) == b.percentile(p)
+
+    def test_overflow_bucket_reports_top_edge(self):
+        h = Histogram()
+        h.observe(1e9)
+        assert h.percentile(99) == BUCKET_EDGES[-1]
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+    def test_snapshot_diff_windows(self):
+        h = Histogram()
+        h.observe(1.0)
+        before = h.snapshot()
+        h.observe(500.0)
+        h.observe(600.0)
+        window = before.diff(h.snapshot())
+        assert window.count == 2
+        assert window.total == pytest.approx(1100.0)
+        assert window.percentile(50) == 500.0     # the 1.0 is outside
+
+    def test_merge_snapshots_sums_buckets(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        a.observe(1.0)
+        b.observe(800.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged.count == 3
+        assert merged.percentile(50) == 1.0
+        assert merged.percentile(99) == 1000.0
+
+    def test_to_dict_round_numbers(self):
+        h = Histogram()
+        h.observe(2.0)
+        d = h.to_dict()
+        assert d["count"] == 1 and d["p50"] == 2.0 and d["max"] == 2.0
+
+
+class TestMetricsRegistry:
+    def test_observe_count_and_summary(self):
+        reg = MetricsRegistry("t")
+        reg.observe("syscall.read", 1.5)
+        reg.observe("syscall.read", 2.5)
+        reg.count("retries")
+        reg.count("retries", 2)
+        assert reg.hist("syscall.read").count == 2
+        assert reg.counters["retries"] == 3
+        assert reg.percentiles("syscall.read")["count"] == 2
+        assert reg.percentiles("nope") is None
+        assert "syscall.read" in reg.latency_summary("syscall.")
+        assert reg.summary()["owner"] == "t"
+
+    def test_gauge_sources(self):
+        reg = MetricsRegistry()
+        reg.register_source("cache", lambda: {"pages": 7})
+        assert reg.gauges() == {"cache": {"pages": 7}}
+
+    def test_snapshot_diff_handles_new_hists(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.observe("late.arrival", 3.0)
+        reg.count("c", 5)
+        window = before.diff(reg.snapshot())
+        assert window.hists["late.arrival"].count == 1
+        assert window.counters["c"] == 5
+
+
+# ----------------------------------------------------------------------
+# Satellites: stats snapshot fields, propagator accessor
+# ----------------------------------------------------------------------
+
+class TestStatsCircuits:
+    def test_snapshot_and_diff_carry_circuit_counts(self):
+        cluster = LocusCluster(n_sites=3, seed=5)
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/f", b"x")
+        cluster.settle()
+        before = cluster.stats.snapshot()
+        cluster.fail_site(2)
+        sh.write_file("/f", b"y")
+        cluster.settle()
+        after = cluster.stats.snapshot()
+        assert after.circuits_closed >= 1
+        delta = before.diff(after)
+        assert delta.circuits_closed == (after.circuits_closed
+                                         - before.circuits_closed)
+        assert delta.circuits_opened == (after.circuits_opened
+                                         - before.circuits_opened)
+
+
+class TestPropagatorPending:
+    def test_pending_accessor_tracks_private_set(self):
+        cluster = LocusCluster(n_sites=3, seed=5)
+        prop = cluster.site(0).fs.propagator
+        assert prop.pending() == []
+        cluster.partition({0}, {1, 2})
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/p", b"x")
+        pending = cluster.site(0).fs.propagator.pending()
+        assert pending == sorted(cluster.site(0).fs.propagator._pending)
+        cluster.heal()
+        cluster.settle()
+        assert cluster.site(0).fs.propagator.pending() == []
+
+
+# ----------------------------------------------------------------------
+# Tracing: context propagation, causal chains, faults
+# ----------------------------------------------------------------------
+
+def _storm_cluster(seed=11):
+    """A small fault-storm run with tracing on (explicit default cost, so
+    the conftest flag shim never rewrites it)."""
+    from repro.cli import _run_traced_workload
+    return _run_traced_workload("storm", seed, 3)
+
+
+@pytest.fixture(scope="module")
+def storm():
+    return _storm_cluster()
+
+
+class TestCausalTracing:
+    def test_syscall_spans_exist_and_finish(self, storm):
+        sys_spans = [s for s in storm.tracer.spans if s.kind == "syscall"]
+        assert sys_spans
+        for s in sys_spans:
+            assert s.end is not None and s.end >= s.start
+
+    def test_complete_causal_chain_across_sites(self, storm):
+        """At least one US syscall → RPC span → SS handler chain, with the
+        handler running on a different site than the syscall."""
+        good = []
+        for chain in causal_chains(storm.tracer, leaf_kind="handler"):
+            kinds = [s.kind for s in chain]
+            if (kinds[0] == "syscall" and "rpc" in kinds
+                    and kinds[-1] == "handler"
+                    and chain[0].site != chain[-1].site):
+                good.append(chain)
+        assert good, "no complete cross-site causal chain in storm trace"
+
+    def test_handler_spans_parent_under_rpc(self, storm):
+        handlers = [s for s in storm.tracer.spans if s.kind == "handler"
+                    and s.parent_id is not None]
+        assert handlers
+        parent = storm.tracer.span(handlers[0].parent_id)
+        assert parent is not None
+        assert parent.trace_id == handlers[0].trace_id
+
+    def test_fault_instants_recorded(self, storm):
+        names = {i["name"] for i in storm.tracer.instants}
+        assert "fault.crash" in names
+        assert "fault.heal" in names or "net.heal" in names
+        assert any(n.startswith("recovery.") for n in names)
+
+    def test_failover_annotation_on_affected_span(self, storm):
+        annotated = [s for s in storm.tracer.spans
+                     if any(e[1] in ("failover", "read_retry")
+                            for e in s.events)]
+        assert annotated, "no failover/read_retry events despite SS crashes"
+        # The annotation rides on a span inside a syscall's trace.
+        roots = {s.trace_id for s in storm.tracer.spans
+                 if s.kind == "syscall"}
+        assert any(s.trace_id in roots for s in annotated)
+
+    def test_latency_histograms_populated(self, storm):
+        merged = merge_snapshots(
+            [s.metrics.hist("syscall.pread").snapshot()
+             for s in storm.sites])
+        assert merged.count > 0
+        assert merged.percentile(99) >= merged.percentile(50) > 0
+
+    def test_instants_are_sequenced(self, storm):
+        seqs = [i["seq"] for i in storm.tracer.instants]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestTraceOnOffParity:
+    """Tracing must be free: same vtime, same message counts."""
+
+    def _run(self, trace_enabled):
+        cost = CostModel().with_overrides(trace_enabled=trace_enabled)
+        cluster = LocusCluster(n_sites=3, seed=23, cost=cost,
+                               root_pack_sites=[1, 2])
+        sh = cluster.shell(0)
+        sh.setcopies(2)
+        sh.write_file("/hot", b"h" * 2048)
+        cluster.settle()
+        from repro.cli import _storm_plan
+        cluster.inject(_storm_plan(23, cluster.sim.now))
+        api = cluster.shell(0).api
+
+        def reader():
+            for __ in range(30):
+                try:
+                    yield from api.read_file("/hot")
+                except LocusError:
+                    pass
+                yield 20.0
+
+        cluster.spawn(0, reader())
+        cluster.settle(max_time=30_000.0)
+        return cluster
+
+    def test_vtime_and_messages_identical(self):
+        on = self._run(True)
+        off = self._run(False)
+        assert on.sim.now == off.sim.now
+        assert on.stats.total_messages == off.stats.total_messages
+        assert dict(on.stats.sent) == dict(off.stats.sent)
+        assert on.stats.total_bytes == off.stats.total_bytes
+        assert on.tracer.enabled and not off.tracer.enabled
+        assert on.tracer.spans and not off.tracer.spans
+
+    def test_metrics_still_collected_when_trace_off(self):
+        off = self._run(False)
+        assert off.site(0).metrics.hist("syscall.pread").count > 0
+
+
+# ----------------------------------------------------------------------
+# Export determinism + schema
+# ----------------------------------------------------------------------
+
+class TestExportDeterminism:
+    def test_byte_identical_replay(self, tmp_path, storm):
+        replay = _storm_cluster()
+        paths = {}
+        for tag, cluster in (("a", storm), ("b", replay)):
+            jp = tmp_path / f"{tag}.jsonl"
+            cp = tmp_path / f"{tag}.chrome.json"
+            export_jsonl(cluster.tracer, str(jp))
+            export_chrome(cluster.tracer, str(cp))
+            paths[tag] = (jp, cp)
+        assert filecmp.cmp(paths["a"][0], paths["b"][0], shallow=False)
+        assert filecmp.cmp(paths["a"][1], paths["b"][1], shallow=False)
+
+    def test_different_seed_differs(self, tmp_path, storm):
+        other = _storm_cluster(seed=12)
+        p1, p2 = tmp_path / "s11.jsonl", tmp_path / "s12.jsonl"
+        export_jsonl(storm.tracer, str(p1))
+        export_jsonl(other.tracer, str(p2))
+        assert not filecmp.cmp(p1, p2, shallow=False)
+
+
+class TestExportSchema:
+    def test_valid_export_passes(self, tmp_path, storm):
+        path = tmp_path / "t.jsonl"
+        n = export_jsonl(storm.tracer, str(path))
+        assert n == 1 + len(storm.tracer.spans) + len(storm.tracer.instants)
+        assert validate_trace_jsonl(str(path)) == []
+
+    def test_corrupted_export_fails(self, tmp_path, storm):
+        path = tmp_path / "bad.jsonl"
+        export_jsonl(storm.tracer, str(path))
+        lines = path.read_text().splitlines()
+        # Corrupt: drop the meta line, break one JSON line, orphan a span.
+        span = json.loads(lines[1])
+        span["parent_id"] = 10 ** 9
+        lines[1] = json.dumps(span)
+        lines[2] = "{not json"
+        path.write_text("\n".join(lines[1:]) + "\n")
+        problems = validate_trace_jsonl(str(path))
+        assert any("not JSON" in p for p in problems)
+        assert any("dangling parent_id" in p for p in problems)
+        assert any("no meta record" in p for p in problems)
+
+    def test_missing_keys_flagged(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('{"type":"meta","spans":0,"instants":0,"vtime":0}\n'
+                        '{"type":"span","span_id":1}\n'
+                        '{"type":"instant"}\n'
+                        '{"type":"martian"}\n')
+        problems = validate_trace_jsonl(str(path))
+        assert any("span missing" in p for p in problems)
+        assert any("instant missing" in p for p in problems)
+        assert any("martian" in p for p in problems)
+
+    def test_chrome_export_loads_as_json(self, tmp_path, storm):
+        path = tmp_path / "t.chrome.json"
+        n = export_chrome(storm.tracer, str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "i"}
+        assert any(e.get("s") == "g" for e in doc["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# CLI subcommand
+# ----------------------------------------------------------------------
+
+class TestTraceCli:
+    def test_smoke_run_with_check(self, tmp_path, capsys):
+        from repro.cli import main
+        rc = main(["trace", "--workload", "smoke", "--seed", "3",
+                   "--out", str(tmp_path), "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schema check: ok" in out
+        assert (tmp_path / "trace.jsonl").exists()
+        assert (tmp_path / "trace.chrome.json").exists()
+        assert validate_trace_jsonl(str(tmp_path / "trace.jsonl")) == []
+
+    def test_plan_file_injection(self, tmp_path):
+        from repro.cli import _storm_plan, trace_main
+        plan = _storm_plan(9, 1000.0)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(plan.to_json())
+        rc = trace_main(["--workload", "smoke", "--seed", "9",
+                         "--plan", str(plan_path), "--out", str(tmp_path),
+                         "--check"])
+        assert rc == 0

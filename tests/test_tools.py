@@ -125,3 +125,62 @@ class TestInspect:
         text = format_report(cluster_report(cluster))
         assert "site 0" in text and "site 2" in text
         assert "partition=[0, 1, 2]" in text
+
+    def test_report_under_live_partition(self, cluster):
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        sh.write_file("/f", b"x")
+        cluster.settle()
+        cluster.partition({0, 1}, {2})
+        sh.write_file("/f", b"left")    # diverge while split
+        report = cluster_report(cluster)
+        assert report["sites"][0]["partition"] == [0, 1]
+        assert report["sites"][2]["partition"] == [2]
+        # The divergent write is queued for propagation to the far side.
+        assert report["sites"][0]["propagation_pending"] or \
+            report["sites"][1]["propagation_pending"] is not None
+        text = format_report(report)
+        assert "partition=[0, 1]" in text and "partition=[2]" in text
+
+    def test_report_survives_crashed_site(self, cluster):
+        sh = cluster.shell(0)
+        sh.write_file("/f", b"x")
+        cluster.settle()
+        cluster.fail_site(2)
+        report = cluster_report(cluster)
+        dead = report["sites"][2]
+        # Crash resets volatile topology state: alone in its partition.
+        assert dead["up"] is False
+        assert dead["partition"] == [2]
+        assert dead["processes"] == []
+        text = format_report(report)
+        assert "DOWN" in text
+
+    def test_report_before_topology_attaches(self, cluster):
+        # A site inspected before its topology service boots (or after a
+        # teardown) must not crash the report: empty partition, epoch 0.
+        cluster.fail_site(2)
+        cluster.site(2).topology = None
+        report = cluster_report(cluster)
+        dead = report["sites"][2]
+        assert dead["partition"] == []
+        assert dead["epoch"] == 0
+        assert "DOWN" in format_report(report)
+
+    def test_report_reads_through_registry(self, cluster):
+        sh = cluster.shell(0)
+        sh.write_file("/f", b"payload")
+        sh.read_file("/f")
+        report = cluster_report(cluster)
+        site0 = report["sites"][0]
+        # Gauge sources merged in: cache, name cache, propagation,
+        # write-behind — the counters inspect used to reach in for.
+        assert {"cache", "name_cache", "propagation",
+                "write_behind"} <= set(site0)
+        assert site0["cache"]["pages"] >= 0
+        # Latency percentiles from the same registry.
+        assert "syscall.open" in site0["latency"]
+        assert site0["latency"]["syscall.open"]["count"] >= 1
+        assert report["trace"]["enabled"] is True
+        assert report["trace"]["spans"] > 0
+        assert "circuits_opened" in report["network"]

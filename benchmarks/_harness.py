@@ -13,6 +13,7 @@ Run with::
 from __future__ import annotations
 
 import sys
+import time
 from typing import Callable, Dict, List, Sequence
 
 from repro import LocusCluster
@@ -70,6 +71,10 @@ class Measure:
         # Windowed registry snapshots: BENCH entries report latency
         # percentiles for exactly the measured activity (repro.obs).
         self.reg0 = {s.site_id: s.metrics.snapshot() for s in cluster.sites}
+        # Simulator-kernel throughput over the window (wall-clock is the
+        # one metric here that is NOT deterministic).
+        self.events0 = cluster.sim.events_processed
+        self.wall0 = time.perf_counter()
 
     def latency(self, prefix: str = "") -> Dict[str, Dict]:
         """Cluster-wide p50/p95/p99 over the measurement window, merged
@@ -87,6 +92,8 @@ class Measure:
         return out
 
     def done(self) -> Dict:
+        wall = time.perf_counter() - self.wall0
+        events = self.cluster.sim.events_processed - self.events0
         snap = self.window.close()
         data_msgs = sum(snap.sent.get(k, 0) for k in snap.pages)
         name_hits = sum(s.name_cache.stats.hits for s in self.cluster.sites)
@@ -94,6 +101,9 @@ class Measure:
                           for s in self.cluster.sites)
         return {
             "vtime": self.cluster.sim.now - self.t0,
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
             "cpu": {s.site_id: s.cpu_used - self.cpu0[s.site_id]
                     for s in self.cluster.sites},
             "cpu_total": sum(s.cpu_used for s in self.cluster.sites)

@@ -57,7 +57,13 @@ class CostModel:
     # protocol).  Message size stays the sum of payload bytes, so the wire
     # model keeps charging honestly for the data moved.
     batch_pages: int = 1
-    readahead_window: int = 1       # pages fetched ahead on sequential reads
+    readahead_window: int = 1       # minimum pages fetched ahead (floor)
+    # Adaptive readahead cap: the window grows with the observed sequential
+    # run length of each open file (1, 2, 3, ... pages ahead) up to this
+    # many pages, and collapses back to the floor on any non-sequential
+    # access.  Random workloads therefore never over-fetch while long scans
+    # converge to full-window prefetch.
+    readahead_max: int = 8
     pull_pipeline: int = 1          # concurrent propagation-pull requests
     # Batched write/commit flush: stage dirty pages at the US and ship them
     # to a remote SS in fs.write_pages messages of up to batch_pages pages
@@ -136,6 +142,11 @@ class ClusterConfig:
     n_sites: int = 3
     seed: int = 0
     cost: CostModel = field(default_factory=CostModel)
+    # Event-loop scheduler: "calendar" (bucketed calendar queue, the
+    # default) or "heap" (the pre-overhaul single global heap, kept as the
+    # T18 benchmark's measuring stick).  Both produce the identical event
+    # schedule; they differ only in wall-clock throughput.
+    sim_kernel: str = "calendar"
     # Sites holding a physical container (pack) of the root filegroup.
     # ``None`` means every site stores a pack, the fully replicated default.
     root_pack_sites: "list[int] | None" = None

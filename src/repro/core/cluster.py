@@ -40,7 +40,13 @@ class LocusCluster:
                                    cost=cost or CostModel(),
                                    root_pack_sites=root_pack_sites)
         self.config = config
-        self.sim = Simulator(seed=config.seed)
+        if config.sim_kernel == "heap":
+            from repro.sim.legacy import LegacySimulator
+            self.sim = LegacySimulator(seed=config.seed)
+        elif config.sim_kernel == "calendar":
+            self.sim = Simulator(seed=config.seed)
+        else:
+            raise ValueError(f"unknown sim_kernel {config.sim_kernel!r}")
         self.net = Network(self.sim, config.cost)
         self.sites: List[Site] = [Site(i, self.sim, self.net, config)
                                   for i in range(config.n_sites)]
@@ -190,8 +196,7 @@ class LocusCluster:
         loop continues if a hook scheduled new work."""
         horizon = self.sim.now + max_time
         while True:
-            while self.sim._peek_time() <= horizon:
-                self.sim.step()
+            self.sim.drain(horizon)
             if not self.sim.fire_idle_hooks():
                 break
 

@@ -67,9 +67,21 @@ class Site:
             "neg_hits": self.name_cache.stats.neg_hits,
             "neg_fills": self.name_cache.stats.neg_fills,
         })
+        # Shared event-queue depth (live entries only — cancelled events
+        # awaiting lazy discard are excluded by Simulator.pending()).
+        self.metrics.register_source("sim", lambda: {
+            "events_pending": self.sim.pending(),
+            "events_processed": self.sim.events_processed,
+        })
         self._handlers: Dict[str, Handler] = {}
         self._pending: Dict[Tuple[int, int], Any] = {}  # (peer, reqid) -> Future
         self._reqids = itertools.count(1)
+        # Hot-path label caches: op -> "rpc.<op>" metric key and
+        # mtype -> "serve:<mtype>@<id>" task name.  The op vocabulary is
+        # small and static, so caching removes an f-string per call.
+        self._rpc_keys: Dict[str, str] = {}
+        self._serve_names: Dict[str, str] = {}
+        self._task_name = f"site{site_id}"
         self._tasks: Set[Task] = set()
         # Subsystems are attached by the cluster builder.
         self.fs = None          # repro.fs.manager.FsManager
@@ -119,11 +131,16 @@ class Site:
         if tracer is not None and tracer.enabled:
             span, prev = tracer.begin(f"rpc:{op}", "rpc", self.site_id,
                                       attrs={"dst": dst})
+        metric_key = self._rpc_keys.get(op)
+        if metric_key is None:
+            metric_key = self._rpc_keys[op] = "rpc." + op
         status_label = "ok"
         try:
-            yield from self.cpu(self.cost.cpu_msg)      # message setup
+            cpu_msg = self.cost.cpu_msg
+            self.cpu_used += cpu_msg                    # message setup
+            yield cpu_msg
             reqid = next(self._reqids)
-            fut = self.sim.create_future(f"rpc:{op}->{dst}")
+            fut = self.sim.create_future(op)
             self._pending[(dst, reqid)] = fut
             msg = self.net.make_message(self.site_id, dst, op,
                                         MsgKind.REQUEST, payload,
@@ -146,7 +163,8 @@ class Site:
             except SimTimeout:
                 self._pending.pop((dst, reqid), None)
                 raise
-            yield from self.cpu(self.cost.cpu_msg)      # return processing
+            self.cpu_used += cpu_msg                    # return processing
+            yield cpu_msg
             if status == "err":
                 raise value
             return value
@@ -154,7 +172,7 @@ class Site:
             status_label = type(exc).__name__
             raise
         finally:
-            self.metrics.observe(f"rpc.{op}", self.sim.now - start)
+            self.metrics.observe(metric_key, self.sim.now - start)
             if span is not None:
                 tracer.finish(span, prev, status=status_label)
 
@@ -263,7 +281,11 @@ class Site:
             if fut is not None:
                 fut.resolve(msg.payload)
             return
-        self.spawn(self._serve(msg), name=f"serve:{msg.mtype}@{self.site_id}")
+        name = self._serve_names.get(msg.mtype)
+        if name is None:
+            name = self._serve_names[msg.mtype] = \
+                f"serve:{msg.mtype}@{self.site_id}"
+        self.spawn(self._serve(msg), name=name)
 
     def _serve(self, msg: Message) -> Generator:
         """Message analysis, system-call continuation, send return message."""
@@ -279,7 +301,9 @@ class Site:
                                       attrs={"src": msg.src})
         status_label = "ok"
         try:
-            yield from self.cpu(self.cost.cpu_msg)      # message analysis
+            cpu_msg = self.cost.cpu_msg
+            self.cpu_used += cpu_msg                    # message analysis
+            yield cpu_msg
             response: Optional[Tuple[str, Any]]
             try:
                 value = yield from self._dispatch(msg.mtype, msg.src,
@@ -292,7 +316,8 @@ class Site:
                 status_label = f"err:{type(exc).__name__}"
             if msg.kind is MsgKind.ONEWAY:
                 return None
-            yield from self.cpu(self.cost.cpu_msg)      # send return message
+            self.cpu_used += cpu_msg                    # send return message
+            yield cpu_msg
             reply = self.net.make_message(self.site_id, msg.src, msg.mtype,
                                           MsgKind.RESPONSE, response,
                                           reqid=msg.reqid,
@@ -326,7 +351,7 @@ class Site:
     # ------------------------------------------------------------------
 
     def spawn(self, gen: Generator, name: str = "") -> Task:
-        task = self.sim.spawn(gen, name=name or f"site{self.site_id}")
+        task = self.sim.spawn(gen, name=name or self._task_name)
         self._tasks.add(task)
         task.done.add_callback(lambda _f: self._tasks.discard(task))
         return task

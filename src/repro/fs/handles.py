@@ -30,6 +30,9 @@ class UsHandle:
     dirty: bool = False
     closed: bool = False
     last_page: int = -2             # readahead: previous page read
+    # Length of the current sequential run (consecutive page reads); drives
+    # the adaptive readahead window and resets on any non-sequential access.
+    run_len: int = 0
     # Write-behind state for the batched commit path (batch_writes): page
     # images staged locally but not yet shipped to a remote SS, the size the
     # next flush must carry, and a count of page writes shipped since the

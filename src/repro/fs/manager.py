@@ -502,6 +502,7 @@ class FsManager(PathMixin, NamespaceMixin):
             handle.ss_site = replacement.ss_site
             handle.attrs = replacement.attrs
             handle.last_page = -2
+            handle.run_len = 0
             self.us.pop(replacement.hid, None)
             if tracer is not None and tracer.enabled:
                 tracer.event_on(tracer.current_ctx(), "failover_complete",
@@ -657,6 +658,8 @@ class FsManager(PathMixin, NamespaceMixin):
             # the newest content; it may already have been evicted from the
             # buffer cache, and the SS has not seen it yet.
             yield from self.site.cpu(self.cost.buffer_hit)
+            handle.run_len = handle.run_len + 1 \
+                if page == handle.last_page + 1 else 0
             handle.last_page = page
             return staged
         key = self._page_key(gfile, page)
@@ -664,6 +667,7 @@ class FsManager(PathMixin, NamespaceMixin):
         if cached is not None:
             yield from self.site.cpu(self.cost.buffer_hit)
             sequential = page == handle.last_page + 1
+            handle.run_len = handle.run_len + 1 if sequential else 0
             handle.last_page = page
             if self.cost.readahead and sequential:
                 self._maybe_readahead(handle, page + 1)
@@ -673,6 +677,8 @@ class FsManager(PathMixin, NamespaceMixin):
             # A readahead already asked the SS for this page: sleep on the
             # same buffer instead of issuing a duplicate network read.
             data = yield inflight
+            handle.run_len = handle.run_len + 1 \
+                if page == handle.last_page + 1 else 0
             handle.last_page = page
             return data
         fut = self.site.sim.create_future(f"fetch:{key}")
@@ -692,17 +698,25 @@ class FsManager(PathMixin, NamespaceMixin):
             self.site.cache.put(key, data)
         fut.resolve(data)
         sequential = page == handle.last_page + 1
+        handle.run_len = handle.run_len + 1 if sequential else 0
         handle.last_page = page
         if self.cost.readahead and sequential:
             self._maybe_readahead(handle, page + 1)
         return data
 
     def _maybe_readahead(self, handle: UsHandle, page: int) -> None:
-        """Start fetching ``readahead_window`` pages from ``page`` on (the
-        paper's protocol reads one ahead; a wider window keeps a remote
-        sequential reader streaming instead of stalling every page)."""
+        """Start fetching the adaptive readahead window from ``page`` on.
+
+        The paper's protocol reads one page ahead; we widen the window with
+        the observed sequential run length of this handle (1, 2, 3, ...)
+        up to ``cost.readahead_max``, so long remote scans stream instead
+        of stalling every page while random access never over-fetches.
+        ``cost.readahead_window`` remains the floor: configuring it to the
+        cap reproduces the old fixed-window behaviour exactly."""
         limit = self._n_pages(handle.size)
-        window = max(1, self.cost.readahead_window)
+        cost = self.cost
+        window = max(max(1, cost.readahead_window),
+                     min(handle.run_len, cost.readahead_max))
         targets = []
         for p in range(page, min(page + window, limit)):
             key = self._page_key(handle.gfile, p)

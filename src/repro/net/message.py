@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
-from typing import Any
+import sys
+from typing import Any, Dict
 
 
 class MsgKind(enum.Enum):
@@ -14,36 +13,56 @@ class MsgKind(enum.Enum):
     ONEWAY = "oneway"     # low-level ack only; no protocol-level response
 
 
-_msg_ids = itertools.count(1)
+_next_msg_id = 0
+
+# mtype -> "mtype.resp", built lazily.  The set of protocol operations is
+# small and static, so every response after the first reuses one interned
+# string instead of formatting a new one per message.
+_resp_keys: Dict[str, str] = {}
 
 
-@dataclass
 class Message:
     """One kernel-to-kernel message.
 
     ``mtype`` names the protocol operation (e.g. ``fs.open``); statistics are
     aggregated by mtype so benchmarks can assert on the paper's message
     counts (Figure 2: the general open is exactly four messages).
+
+    A plain ``__slots__`` class rather than a dataclass: messages are the
+    single most-allocated object in a storm and the dataclass ``__init__``
+    (keyword plumbing plus a default_factory call) showed up in profiles.
     """
 
-    src: int
-    dst: int
-    mtype: str
-    kind: MsgKind
-    payload: Any = None
-    size: int = 0                     # payload bytes for the wire-time model
-    reqid: int = 0                    # request/response correlation
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
-    # Flight-recorder context (trace_id, span_id) of the span this message
-    # serves.  Rides the header, not the payload: excluded from the
-    # wire-size model so message counts and virtual time are identical
-    # with tracing on or off.
-    trace_ctx: Any = None
+    __slots__ = ("src", "dst", "mtype", "kind", "payload", "size",
+                 "reqid", "msg_id", "trace_ctx")
+
+    def __init__(self, src: int, dst: int, mtype: str, kind: MsgKind,
+                 payload: Any = None, size: int = 0, reqid: int = 0,
+                 trace_ctx: Any = None):
+        global _next_msg_id
+        _next_msg_id += 1
+        self.src = src
+        self.dst = dst
+        self.mtype = mtype
+        self.kind = kind
+        self.payload = payload
+        self.size = size                  # payload bytes for wire-time model
+        self.reqid = reqid                # request/response correlation
+        self.msg_id = _next_msg_id
+        # Flight-recorder context (trace_id, span_id) of the span this
+        # message serves.  Rides the header, not the payload: excluded from
+        # the wire-size model so message counts and virtual time are
+        # identical with tracing on or off.
+        self.trace_ctx = trace_ctx
 
     def stat_key(self) -> str:
         """Aggregation key: responses are counted under ``mtype.resp``."""
         if self.kind is MsgKind.RESPONSE:
-            return f"{self.mtype}.resp"
+            key = _resp_keys.get(self.mtype)
+            if key is None:
+                key = _resp_keys[self.mtype] = sys.intern(
+                    self.mtype + ".resp")
+            return key
         return self.mtype
 
     def __repr__(self) -> str:
@@ -57,9 +76,37 @@ def payload_size(payload: Any) -> int:
     Counts bytes/str content at face value, containers structurally, and
     charges a small fixed size for scalars.  This only drives wire *time*;
     protocol correctness never depends on it.
+
+    Exact-type checks cover the overwhelmingly common payload shapes
+    without the isinstance chain; subclasses (and bool, which must charge 1
+    rather than int's 8) fall through to the original chain below and
+    produce identical sizes.
     """
+    tp = type(payload)
     if payload is None:
         return 0
+    if tp is str or tp is bytes:
+        return len(payload)
+    if tp is int or tp is float:
+        return 8
+    if tp is dict:
+        # "__wire_bytes__" stands in for bulk data (e.g. a process image
+        # shipped by remote fork) without materializing the bytes.
+        total = payload.get("__wire_bytes__", 0)
+        for k, v in payload.items():
+            if k != "__wire_bytes__":
+                total += payload_size(k) + payload_size(v)
+        return total
+    if tp is list or tp is tuple:
+        total = 0
+        for v in payload:
+            total += payload_size(v)
+        return total
+    return _payload_size_slow(payload)
+
+
+def _payload_size_slow(payload: Any) -> int:
+    """Original isinstance chain, kept for subclasses and rare shapes."""
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, str):
@@ -69,8 +116,6 @@ def payload_size(payload: Any) -> int:
     if isinstance(payload, (int, float)):
         return 8
     if isinstance(payload, dict):
-        # "__wire_bytes__" stands in for bulk data (e.g. a process image
-        # shipped by remote fork) without materializing the bytes.
         extra = payload.get("__wire_bytes__", 0)
         return extra + sum(payload_size(k) + payload_size(v)
                            for k, v in payload.items()

@@ -5,11 +5,19 @@ partition membership (who each kernel *believes* is up — the site tables of
 paper section 5.4) lives in each site's topology service.  The merge protocol
 relies on this distinction: it polls sites "thought to be down" and succeeds
 once the physical fault heals.
+
+The send path is tiered for throughput: when no fault hook, loss rate,
+per-pair extra latency or live tracer is armed — the overwhelmingly common
+case in large storms — a message goes from ``send`` to a scheduled delivery
+with a handful of dict operations on tuple keys and no intermediate
+allocations beyond the delivery event.  Arming any hook falls back to the
+full bookkeeping path; both paths charge identical virtual time and record
+identical message statistics, so the fast path is observationally invisible.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set  # noqa: F401
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple  # noqa: F401
 
 from repro.config import CostModel
 from repro.errors import SiteDown, Unreachable
@@ -20,6 +28,12 @@ from repro.sim.simulator import Simulator
 
 DeliverFn = Callable[[Message], None]
 CircuitClosedFn = Callable[[int, str], None]
+
+Pair = Tuple[int, int]          # canonical (low, high) site pair
+
+
+def _pair_key(a: int, b: int) -> Pair:
+    return (a, b) if a < b else (b, a)
 
 
 class _Circuit:
@@ -33,7 +47,7 @@ class _Circuit:
 
     __slots__ = ("pair", "open")
 
-    def __init__(self, pair: FrozenSet[int]):
+    def __init__(self, pair: Pair):
         self.pair = pair
         self.open = True
 
@@ -49,7 +63,7 @@ class Network:
         self._closed_fns: Dict[int, CircuitClosedFn] = {}
         self._up: Set[int] = set()
         self._group: Dict[int, int] = {}     # site -> physical segment id
-        self._circuits: Dict[FrozenSet[int], _Circuit] = {}
+        self._circuits: Dict[Pair, _Circuit] = {}
         # Virtual circuits deliver in the order sent (section 5.1): a small
         # message must never overtake a large one on the same circuit.
         self._last_delivery: Dict[tuple, float] = {}
@@ -70,6 +84,9 @@ class Network:
         # split per message.  Both are observational only.
         self.tracer = None
         self.metrics = MetricsRegistry("net")
+        # Hot-path handles: the wire-time histogram is resolved once, and
+        # deliveries go through the slab-recycled scheduling path.
+        self._wire_hist = self.metrics.hist("net.wire")
 
     # -- membership -----------------------------------------------------
 
@@ -113,7 +130,7 @@ class Network:
                 if site not in self._deliver_fns:
                     raise ValueError(f"unknown site {site}")
                 self._group[site] = gid
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.enabled:
             self.tracer.instant("net.partition", attrs={
                 "groups": sorted(sorted(g) for g in
                                  self._segment_members().values())})
@@ -127,7 +144,7 @@ class Network:
         """
         for site in self._group:
             self._group[site] = 0
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.enabled:
             self.tracer.instant("net.heal")
 
     def _segment_members(self) -> Dict[int, list]:
@@ -162,24 +179,56 @@ class Network:
         """
         if src == dst:
             raise ValueError("local operations must not use the network")
-        if src not in self._up:
+        up = self._up
+        if src not in up:
             raise SiteDown(src)
-        if not self.reachable(src, dst):
+        if src != dst and not (dst in up
+                               and self._group[src] == self._group[dst]):
             raise Unreachable(src, dst)
-        circuit = self._ensure_circuit(src, dst)
-        if not circuit.open:
+        circuit = self._circuits.get((src, dst) if src < dst else (dst, src))
+        if circuit is None:
+            self._ensure_circuit(src, dst)
+        elif not circuit.open:
             circuit.open = True
             self.stats.circuits_opened += 1
-        self.stats.record_send(msg.stat_key(), msg.size)
+        stats = self.stats
+        key = msg.stat_key()
+        stats.sent[key] += 1
+        stats.bytes_sent[key] += msg.size
+        if (self.taps or self.drop_filters or self.loss_rate
+                or self.extra_latency
+                or (self.tracer is not None and self.tracer.enabled)):
+            self._send_hooked(src, dst, msg)
+            return
+        # Fast path: no fault hook, loss, asymmetric latency or live tracer
+        # armed — one dict-free dispatch to the delivery event.  Virtual
+        # time and statistics are identical to the hooked path.
+        wire = self.cost.message_delay(msg.size)
+        arrival = self.sim.now + wire
+        dkey = (src, dst)
+        last = self._last_delivery
+        floor = last.get(dkey)
+        if floor is not None and arrival <= floor:
+            queue_wait = floor + 1e-9 - arrival
+            arrival = floor + 1e-9      # FIFO: queue behind the predecessor
+            self.metrics.observe("net.queue_wait", queue_wait)
+        last[dkey] = arrival
+        self._wire_hist.observe(wire)
+        self.sim._schedule_recycled(arrival - self.sim.now,
+                                    self._deliver, (msg,))
+
+    def _send_hooked(self, src: int, dst: int, msg: Message) -> None:
+        """Full-bookkeeping send: fault taps, scripted and random loss,
+        asymmetric latency, and flight-recorder queue-wait events."""
         for tap in self.taps:
             tap(msg)
-        if any(f(msg) for f in self.drop_filters):
+        if self.drop_filters and any(f(msg) for f in self.drop_filters):
             self.stats.dropped += 1
-            self._close_circuit(frozenset((src, dst)), "message lost (fault)")
+            self._close_circuit((src, dst), "message lost (fault)")
             return
         if self.loss_rate and self.sim.rng.random() < self.loss_rate:
             self.stats.dropped += 1
-            self._close_circuit(frozenset((src, dst)), "message lost")
+            self._close_circuit((src, dst), "message lost")
             return
         wire = self.latency(src, dst, msg.size)
         arrival = self.sim.now + wire
@@ -192,37 +241,40 @@ class Network:
         self._last_delivery[key] = arrival
         # Flight recorder: split transit into pure wire time and the FIFO
         # queue wait behind circuit predecessors (observational only).
-        self.metrics.observe("net.wire", wire)
+        self._wire_hist.observe(wire)
         if queue_wait > 0.0:
             self.metrics.observe("net.queue_wait", queue_wait)
             if self.tracer is not None and msg.trace_ctx is not None:
                 self.tracer.event_on(msg.trace_ctx, "queue_wait",
                                      {"delay": queue_wait,
                                       "mtype": msg.stat_key()})
-        self.sim.schedule(arrival - self.sim.now, self._deliver, msg)
+        self.sim._schedule_recycled(arrival - self.sim.now,
+                                    self._deliver, (msg,))
 
     def _deliver(self, msg: Message) -> None:
         """Delivery-time reachability check: a break in flight drops the
         message and closes the circuit, which is how kernels detect the
         failure (lost message => closed circuit)."""
-        if not self.reachable(msg.src, msg.dst):
+        src = msg.src
+        dst = msg.dst
+        up = self._up
+        if src not in up or dst not in up \
+                or self._group[src] != self._group[dst]:
             self.stats.dropped += 1
-            self._close_circuit(frozenset((msg.src, msg.dst)),
-                                "message lost in flight")
+            self._close_circuit((src, dst), "message lost in flight")
             return
         self.stats.delivered += 1
-        self._deliver_fns[msg.dst](msg)
+        self._deliver_fns[dst](msg)
 
     def make_message(self, src: int, dst: int, mtype: str, kind: MsgKind,
                      payload, reqid: int = 0, trace_ctx=None) -> Message:
-        return Message(src=src, dst=dst, mtype=mtype, kind=kind,
-                       payload=payload, size=payload_size(payload),
-                       reqid=reqid, trace_ctx=trace_ctx)
+        return Message(src, dst, mtype, kind, payload,
+                       payload_size(payload), reqid, trace_ctx)
 
     # -- circuits ----------------------------------------------------------
 
     def _ensure_circuit(self, a: int, b: int) -> _Circuit:
-        pair = frozenset((a, b))
+        pair = _pair_key(a, b)
         circuit = self._circuits.get(pair)
         if circuit is None:
             circuit = _Circuit(pair)
@@ -230,19 +282,18 @@ class Network:
             self.stats.circuits_opened += 1
         return circuit
 
-    def _reachable_pairs(self) -> Set[FrozenSet[int]]:
+    def _reachable_pairs(self) -> Set[Pair]:
         up = sorted(self._up)
-        return {frozenset((a, b))
+        return {(a, b)
                 for i, a in enumerate(up) for b in up[i + 1:]
                 if self.reachable(a, b)}
 
-    def _notify_broken(self, old_pairs: Set[FrozenSet[int]],
-                       reason: str) -> None:
+    def _notify_broken(self, old_pairs: Set[Pair], reason: str) -> None:
         for pair in old_pairs:
             a, b = tuple(pair)
             if self.reachable(a, b):
                 continue
-            circuit = self._circuits.get(pair)
+            circuit = self._circuits.get(_pair_key(a, b))
             if circuit is not None and circuit.open:
                 self._close_circuit(pair, reason)
                 continue
@@ -254,17 +305,20 @@ class Network:
                     if notify is not None:
                         self.sim.call_soon(notify, peer, reason)
 
-    def _close_circuit(self, pair: FrozenSet[int], reason: str) -> None:
-        circuit = self._circuits.get(pair)
+    def _close_circuit(self, pair: Iterable[int], reason: str) -> None:
+        """Close the circuit between a site pair (any 2-iterable — ordered
+        tuple or the historical frozenset — is accepted)."""
+        a, b = tuple(pair)
+        key = _pair_key(a, b)
+        circuit = self._circuits.get(key)
         if circuit is None or not circuit.open:
             return
         circuit.open = False
         self.stats.circuits_closed += 1
         self.metrics.count("net.circuits_closed")
-        a, b = tuple(pair)
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.enabled:
             self.tracer.instant("net.circuit_closed",
-                                attrs={"pair": sorted(pair),
+                                attrs={"pair": list(key),
                                        "reason": reason})
         # The FIFO floor only orders messages within one circuit incarnation;
         # dropping it here keeps _last_delivery from growing without bound
@@ -283,4 +337,4 @@ class Network:
         """Explicitly close circuits (logical partition removal, section 5.1:
         "removal from a partition closes all relevant virtual circuits")."""
         for peer in peers:
-            self._close_circuit(frozenset((site_id, peer)), reason)
+            self._close_circuit((site_id, peer), reason)

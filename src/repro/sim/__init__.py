@@ -16,12 +16,14 @@ and no wall-clock reads in the core.
 from repro.sim.future import Future
 from repro.sim.task import Task
 from repro.sim.simulator import Simulator
+from repro.sim.legacy import LegacySimulator
 from repro.sim.sync import SimQueue, SimEvent, Semaphore
 
 __all__ = [
     "Future",
     "Task",
     "Simulator",
+    "LegacySimulator",
     "SimQueue",
     "SimEvent",
     "Semaphore",

@@ -1,27 +1,81 @@
-"""The discrete-event simulator: clock, event queue, task scheduler."""
+"""The discrete-event simulator: clock, event queue, task scheduler.
+
+The scheduler is a bucketed calendar queue, rebuilt for wall-clock
+throughput (million-event storms) while keeping the schedule bit-identical
+to the original single-heap kernel:
+
+* **Total order.**  Every queue entry carries ``(time, seq)`` with ``seq``
+  drawn from one global counter; entries fire in exactly that order no
+  matter which internal structure holds them.  This is the determinism
+  contract: the calendar buckets, the ready deque and the overflow heap
+  are pure containers — they never reorder equal-time entries.
+
+* **Near-future buckets.**  Entries within the calendar window (``_base``
+  to ``_limit``) land in one of ``_NBUCKETS`` buckets, each a small binary
+  heap of tuples whose first two elements are ``(time, seq)`` — all heap
+  comparisons happen in C (the old kernel burned most of its time in a
+  Python ``__lt__`` on a single ever-deeper heap).  The bucket width
+  adapts at each window rotation to span the entire far-future overflow,
+  so steady-state pushes land directly in buckets and nothing cycles
+  through the overflow heap twice.
+
+* **Far-future overflow heap.**  Entries beyond the window go to ``_far``;
+  when the window drains, the calendar rotates forward and re-buckets the
+  overflow that now falls inside it.
+
+* **Ready deque.**  Zero-delay work — ``call_soon`` events, future
+  resumptions, task starts — skips the calendar entirely and rides a FIFO
+  deque.  A deque entry is only popped when no calendar entry with the
+  same timestamp and a smaller ``seq`` is pending, preserving the global
+  order.
+
+* **Slab recycling and tuple entries.**  The hot internal paths never
+  allocate an event object at all: task sleep timers are ``(time, seq,
+  task)`` tuples resumed inline by :meth:`step`, internal callbacks
+  (message delivery) are ``(time, seq, fn, args)`` tuples, and future
+  resumptions are ``(seq, task, future)`` ready entries.  ``call_soon``
+  returns a cancellable handle drawn from a freelist and recycled after
+  it fires — hold it only to cancel *before* it runs, never afterwards.
+  Events returned by :meth:`schedule` are never recycled: callers may
+  hold them and call ``cancel`` arbitrarily late.
+
+Cancellation leaves a tombstone; tombstones are skipped (and discarded)
+during peeks and pops and are excluded from :meth:`pending`.
+"""
 
 from __future__ import annotations
 
-import heapq
 import random
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import DeadlockError, SimTimeout
-from repro.sim.future import Future
+from repro.sim.future import Future, _PENDING
 from repro.sim.task import Task
+
+_NBUCKETS = 2048        # calendar buckets per window
+_FREE_MAX = 4096         # freelist cap (slab of recycled call_soon events)
+_INF = float("inf")
 
 
 class _Event:
-    """A scheduled callback.  Cancellation leaves a tombstone in the heap."""
+    """A scheduled callback.  Cancellation leaves a tombstone in place.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    Heap entries are ``(time, seq, event)`` tuples — the event object
+    itself is never compared, so heap operations stay entirely in C.
+    """
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "recyclable")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 recyclable: bool = False):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.recyclable = recyclable
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -40,7 +94,6 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._heap: List[_Event] = []
         self._seq = 0
         self.events_processed = 0
         self.tasks_spawned = 0
@@ -54,20 +107,139 @@ class Simulator:
         # hangs its post-heal fsck here so checks never race in-flight
         # protocols.  Hooks run synchronously and may schedule new events.
         self.idle_hooks: List[Callable[[], None]] = []
+        # -- calendar-queue state --------------------------------------
+        # Ready entries: _Event (call_soon) or (seq, task, future|None).
+        self._ready: deque = deque()
+        # Bucket/far entries: (time, seq, _Event) from schedule(),
+        # (time, seq, Task) sleep timers, (time, seq, fn, args) internal.
+        self._buckets: List[list] = [[] for _ in range(_NBUCKETS)]
+        self._width = 8.0                         # current bucket width
+        self._inv_width = 1.0 / 8.0
+        self._base = 0.0                          # window start
+        self._limit = _NBUCKETS * 8.0             # window end
+        self._cursor = 0                          # first maybe-nonempty bucket
+        self._bucket_count = 0                    # entries in buckets (+tombs)
+        self._far: list = []                      # overflow heap beyond window
+        self._far_max = 0.0                       # newest far entry's time
+        # Recycled call_soon events.  Bounded deque: append past maxlen
+        # silently evicts the oldest — no length check on the fire path.
+        self._free: deque = deque(maxlen=_FREE_MAX)
+        # Tombstones discarded one-by-one since the last compaction; once
+        # this rivals the pending population, a purge sweep is cheaper
+        # than continuing to heappop dead entries individually.
+        self._discards = 0
+        # Set by every calendar mutation; lets the hot loop reuse its
+        # cached head instead of re-walking the buckets per event.
+        self._cal_dirty = True
 
     # -- scheduling ------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> _Event:
-        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        """Run ``fn(*args)`` after ``delay`` units of virtual time.
+
+        The returned event may be held and cancelled at any time, so it is
+        never slab-recycled.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        t = self.now + delay
         self._seq += 1
-        ev = _Event(self.now + delay, self._seq, fn, args)
-        heapq.heappush(self._heap, ev)
+        ev = _Event(t, self._seq, fn, args)
+        self._push_entry(t, (t, self._seq, ev))
         return ev
 
     def call_soon(self, fn: Callable, *args: Any) -> _Event:
-        return self.schedule(0.0, fn, *args)
+        """Zero-delay schedule on the ready deque.
+
+        The event fires after every already-pending event with the same
+        timestamp (FIFO at equal times, like the old kernel).  The handle
+        supports ``cancel`` until it fires; it is recycled afterwards, so
+        do not retain it past that point.
+        """
+        seq = self._seq + 1
+        self._seq = seq
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = self.now
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = _Event(self.now, seq, fn, args, True)
+        self._ready.append(ev)
+        return ev
+
+    def _schedule_recycled(self, delay: float, fn: Callable,
+                           args: tuple) -> None:
+        """Internal scheduling for callbacks that never expose a handle
+        (message delivery): a bare ``(time, seq, fn, args)`` tuple, no
+        event object at all."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        t = self.now + delay
+        self._seq += 1
+        self._cal_dirty = True
+        if self._base <= t < self._limit:
+            idx = int((t - self._base) * self._inv_width)
+            if idx >= _NBUCKETS:              # float-boundary safety clamp
+                idx = _NBUCKETS - 1
+            if idx < self._cursor:
+                self._cursor = idx
+            heappush(self._buckets[idx], (t, self._seq, fn, args))
+            self._bucket_count += 1
+        else:
+            self._push_entry(t, (t, self._seq, fn, args))
+
+    def _schedule_timer(self, delay: float, task: Task) -> None:
+        """A task sleeping ``delay`` (``yield seconds``): the entry is the
+        task itself; :meth:`step` resumes its generator inline."""
+        t = self.now + delay
+        self._seq += 1
+        self._cal_dirty = True
+        if self._base <= t < self._limit:
+            idx = int((t - self._base) * self._inv_width)
+            if idx >= _NBUCKETS:
+                idx = _NBUCKETS - 1
+            if idx < self._cursor:
+                self._cursor = idx
+            heappush(self._buckets[idx], (t, self._seq, task))
+            self._bucket_count += 1
+        else:
+            self._push_entry(t, (t, self._seq, task))
+
+    def _ready_resume(self, task: Task, fut: Optional[Future]) -> None:
+        """A task whose awaited future completed: resumed from the ready
+        deque in completion order, inline, with no event allocation."""
+        self._seq += 1
+        self._ready.append((self._seq, task, fut))
+
+    def _ready_start(self, task: Task) -> None:
+        """First step of a freshly spawned task."""
+        self._seq += 1
+        self._ready.append((self._seq, task, None))
+
+    def _push_entry(self, t: float, entry: tuple) -> None:
+        """Generic insert: bucket when inside the window, far heap beyond,
+        window rebuild when behind it."""
+        self._cal_dirty = True
+        if t < self._limit:
+            if t < self._base:
+                # Possible only after an idle-time window rotation or a
+                # run(until=...) jump; rebuild the window around t.
+                self._rebase(t)
+            idx = int((t - self._base) * self._inv_width)
+            if idx >= _NBUCKETS:
+                idx = _NBUCKETS - 1
+            if idx < self._cursor:
+                self._cursor = idx
+            heappush(self._buckets[idx], entry)
+            self._bucket_count += 1
+        else:
+            heappush(self._far, entry)
+            if t > self._far_max:
+                self._far_max = t
 
     def create_future(self, label: str = "") -> Future:
         return Future(label=label)
@@ -77,55 +249,465 @@ class Simulator:
     def spawn(self, gen: Generator, name: str = "") -> Task:
         """Start a kernel task running the given generator."""
         self.tasks_spawned += 1
-        task = Task(self, gen, name=name or f"task-{self.tasks_spawned}")
-        self.call_soon(task._start)
+        task = Task(self, gen, name=name)
+        self._ready_start(task)
         return task
+
+    # -- calendar internals ----------------------------------------------
+
+    def _rebase(self, anchor: float) -> None:
+        """Rebuild the calendar window to start at ``anchor`` (which must
+        not exceed any queued entry's time) using the current width."""
+        entries: list = []
+        for bucket in self._buckets:
+            entries.extend(bucket)
+            del bucket[:]
+        entries.extend(self._far)
+        del self._far[:]
+        self._bucket_count = 0
+        self._cursor = 0
+        self._base = anchor
+        self._limit = anchor + _NBUCKETS * self._width
+        inv = self._inv_width
+        buckets = self._buckets
+        far = self._far
+        for entry in entries:
+            t = entry[0]
+            if t < self._limit:
+                idx = int((t - anchor) * inv)
+                if idx >= _NBUCKETS:
+                    idx = _NBUCKETS - 1
+                heappush(buckets[idx], entry)
+                self._bucket_count += 1
+            else:
+                heappush(far, entry)
+                if t > self._far_max:
+                    self._far_max = t
+
+    def _purge(self) -> None:
+        """Compact the calendar: drop every cancelled entry in one linear
+        sweep and re-bucket the survivors.  Lazy deletion pays one
+        expensive heappop per tombstone; once tombstones rival the live
+        population (watchdog-heavy workloads cancel most of what they
+        arm), a single O(n) sweep is far cheaper than n deep pops.
+
+        The rebuild reuses the rotation width policy, so a population
+        first bucketed under a stale width (a dense far-future cluster
+        pushed while the window was still coarse) comes out spread across
+        the whole bucket array instead of piled into a few deep heaps."""
+        live: list = []
+        for bucket in self._buckets:
+            if bucket:
+                live.extend(e for e in bucket
+                            if not (e[2].__class__ is _Event
+                                    and e[2].cancelled))
+                del bucket[:]
+        far = self._far
+        if far:
+            live.extend(e for e in far
+                        if not (e[2].__class__ is _Event and e[2].cancelled))
+            del far[:]
+        self._cursor = 0
+        self._discards = 0
+        self._cal_dirty = True
+        if not live:
+            self._bucket_count = 0
+            return
+        base = min(live)[0]
+        span = max(live)[0] - base
+        width = span * (2.0 / (_NBUCKETS - 1))
+        if width < 1e-9:
+            width = 1e-9
+        self._width = width
+        self._inv_width = inv = 1.0 / width
+        self._base = base
+        self._limit = base + _NBUCKETS * width
+        buckets = self._buckets
+        for entry in live:
+            idx = int((entry[0] - base) * inv)
+            if idx >= _NBUCKETS:
+                idx = _NBUCKETS - 1
+            heappush(buckets[idx], entry)
+        self._bucket_count = len(live)
+
+    def _maybe_purge(self) -> None:
+        """Purge when one-by-one discards since the last sweep exceed a
+        sixteenth of the queued population (amortized O(1) per tombstone:
+        a sweep touches each entry once at C speed, while every skipped
+        discard saves a deep Python-level heappop)."""
+        if self._discards > 4096 and \
+                self._discards << 4 > self._bucket_count + len(self._far):
+            self._purge()
+
+    def _cal_peek(self):
+        """Earliest live entry among buckets + far heap, or None.
+        Discards tombstones; advances the cursor past empty buckets;
+        never rotates the window (rotation happens on take)."""
+        if self._discards > 4096:
+            self._maybe_purge()
+        count = self._bucket_count
+        if count:
+            buckets = self._buckets
+            cursor = self._cursor
+            while cursor < _NBUCKETS:
+                bucket = buckets[cursor]
+                while bucket:
+                    head = bucket[0]
+                    o = head[2]
+                    if o.__class__ is _Event and o.cancelled:
+                        heappop(bucket)
+                        count -= 1
+                        self._discards += 1
+                    else:
+                        self._cursor = cursor
+                        self._bucket_count = count
+                        return head
+                cursor += 1
+            self._cursor = cursor
+            self._bucket_count = count
+        far = self._far
+        while far:
+            head = far[0]
+            o = head[2]
+            if o.__class__ is _Event and o.cancelled:
+                heappop(far)
+                self._discards += 1
+            else:
+                return head
+        return None
+
+    def _cal_take(self, head: Optional[tuple] = None) -> Optional[tuple]:
+        """Pop the earliest live calendar entry (tombstones discarded).
+        Rotates the window forward when only far-future entries remain.
+        Callers that already peeked pass the head to skip the re-scan."""
+        self._cal_dirty = True
+        if head is None:
+            head = self._cal_peek()
+            if head is None:
+                return None
+        if self._bucket_count:
+            bucket = self._buckets[self._cursor]
+            if bucket and bucket[0] is head:
+                heappop(bucket)
+                self._bucket_count -= 1
+                return head
+        # Head lives in the far heap: rotate the window to it.  The width
+        # adapts so the window spans the whole overflow — the far heap
+        # empties completely, every future push lands directly in a bucket,
+        # and no entry is double-handled through the far heap twice.  Deep
+        # buckets are harmless (their heaps compare tuples in C); the
+        # expensive pattern is far-heap churn, so the window only ever
+        # grows to cover the observed horizon, never force-shrinks.
+        base = head[0]
+        # Width covers TWICE the observed overflow span: entries scheduled
+        # near the end of a window pass (a horizon of ~span ahead of a
+        # clock that has itself advanced ~span) still land in buckets
+        # instead of churning through the far heap every pass.
+        span = self._far_max - base
+        width = span * (2.0 / (_NBUCKETS - 1))
+        if width < 1e-9:
+            width = 1e-9
+        self._width = width
+        self._inv_width = inv = 1.0 / width
+        self._base = base
+        self._limit = limit = base + _NBUCKETS * width
+        self._cursor = 0
+        far = self._far
+        buckets = self._buckets
+        count = self._bucket_count
+        # limit exceeds _far_max by construction, so the whole far heap
+        # drains every rotation: scan it linearly (heap order is irrelevant
+        # for bucket placement), drop tombstones, and clear — no per-entry
+        # heappop against a deep heap.
+        for entry in far:
+            if entry is head:
+                continue               # the caller fires the head directly
+            o = entry[2]
+            if o.__class__ is _Event and o.cancelled:
+                continue               # drop tombstones instead of moving them
+            idx = int((entry[0] - base) * inv)
+            if idx >= _NBUCKETS:
+                idx = _NBUCKETS - 1
+            heappush(buckets[idx], entry)
+            count += 1
+        del far[:]
+        self._bucket_count = count
+        return head
 
     # -- running ---------------------------------------------------------
 
+    def _resume(self, task: Task, fut: Optional[Future]) -> None:
+        """Advance a task's generator one step, inline.
+
+        This replaces the old ``_step_send`` path for the two hot resume
+        shapes (sleep timers and completed futures); semantics — finished
+        and cancelled checks, current_task bookkeeping, StopIteration and
+        failure handling — mirror ``Task._step_send`` exactly.
+        """
+        done = task.done
+        if done._state is not _PENDING:
+            return                     # late fire on a finished task: no-op
+        if fut is None:
+            value = None
+        else:
+            exc = fut._exc
+            if exc is not None:
+                task._step_throw(exc)  # rare path: seed code, same order
+                return
+            value = fut._value
+        self.current_task = task
+        try:
+            y = task.gen.send(value)
+        except StopIteration as stop:
+            done.resolve(stop.value)
+            self.current_task = None
+            return
+        except BaseException as e:  # noqa: BLE001 - failure is data
+            done.fail(e)
+            self.current_task = None
+            return
+        self.current_task = None
+        if task._cancelled:
+            # A cancel raced with this step; the throw is already queued.
+            return
+        c = y.__class__
+        if c is float:
+            self._schedule_timer(y, task)
+        elif c is Future:
+            task._waiting_on = y
+            if y._state is _PENDING:
+                y._callbacks.append(task._future_fired)
+            else:
+                task._future_fired(y)
+        elif c is int:
+            self._schedule_timer(float(y), task)
+        else:
+            task._handle_yield(y)      # subclasses, Task joins, bare yield
+
     def step(self) -> bool:
-        """Process the next event.  Returns False when the queue is empty
+        """Process the next entry.  Returns False when the queue is empty
         and the idle hooks (if any) scheduled nothing new."""
         while True:
-            while self._heap:
-                ev = heapq.heappop(self._heap)
-                if ev.cancelled:
-                    continue
-                assert ev.time >= self.now, "time went backwards"
-                self.now = ev.time
+            ready = self._ready
+            h = None
+            while ready:
+                h = ready[0]
+                if h.__class__ is tuple or not h.cancelled:
+                    break
+                ready.popleft()
+                h = None
+            if h is not None:
+                # Ready entries sit at the current clock; only a calendar
+                # entry at the same instant with a smaller seq beats them.
+                if self._bucket_count or self._far:
+                    cal = self._cal_peek()
+                    if cal is not None and cal[0] == self.now and cal[1] < \
+                            (h[0] if h.__class__ is tuple else h.seq):
+                        self._cal_take(cal)
+                        self._fire_entry(cal)
+                        return True
+                ready.popleft()
                 self.events_processed += 1
-                ev.fn(*ev.args)
+                if h.__class__ is tuple:
+                    self._resume(h[1], h[2])
+                else:
+                    fn = h.fn
+                    args = h.args
+                    if h.recyclable:
+                        self._free.append(h)
+                    fn(*args)
+                return True
+            entry = self._cal_peek()
+            if entry is not None:
+                self._cal_take(entry)
+                self._fire_entry(entry)
                 return True
             if not self.fire_idle_hooks():
                 return False
 
+    def _fire_entry(self, entry: tuple) -> None:
+        """Advance the clock to a calendar entry and execute it."""
+        t = entry[0]
+        if t != self.now:
+            self.now = t
+        self.events_processed += 1
+        o = entry[2]
+        c = o.__class__
+        if c is Task:
+            self._resume(o, None)
+        elif c is _Event:
+            o.fn(*o.args)
+        else:
+            o(*entry[3])
+
     def fire_idle_hooks(self) -> bool:
         """Run the idle hooks if the queue is truly empty.  Returns True
         when a hook scheduled new work (so stepping should continue)."""
-        if not self.idle_hooks or self._peek_time() != float("inf"):
+        if not self.idle_hooks or self._peek_time() != _INF:
             return False
         for hook in list(self.idle_hooks):
             hook()
-        return self._peek_time() != float("inf")
+        return self._peek_time() != _INF
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
-        """Run until the queue drains, ``until`` passes, or the budget ends."""
-        budget = max_events
+        """Run until the queue drains, ``until`` passes, or the budget ends.
+
+        ``max_events`` is charged on *processed* events (the
+        ``events_processed`` delta), so draining tombstones from a
+        cancelled-event storm or firing idle hooks never eats budget."""
+        if max_events is None:
+            # No budget to meter: ride the fused hot loop.
+            horizon = _INF if until is None else until
+            while True:
+                self._spin(horizon)
+                if self._peek_time() != _INF:
+                    break              # stopped at the horizon, not empty
+                if not self.fire_idle_hooks():
+                    break
+            if until is not None and until > self.now:
+                self.now = until
+            return
+        remaining = max_events
         while True:
-            while self._heap:
-                if until is not None and self._peek_time() > until:
+            while True:
+                t = self._peek_time()
+                if t == _INF:
+                    break
+                if until is not None and t > until:
                     self.now = until
                     return
-                if budget is not None:
-                    if budget <= 0:
+                if remaining is not None:
+                    if remaining <= 0:
                         return
-                    budget -= 1
-                self.step()
+                    before = self.events_processed
+                    self.step()
+                    remaining -= self.events_processed - before
+                else:
+                    self.step()
             if not self.fire_idle_hooks():
                 break
         if until is not None and until > self.now:
             self.now = until
+
+    def drain(self, horizon: float) -> None:
+        """Process every entry with time ≤ ``horizon`` (the settle loop's
+        hot inner loop).  Returns with the clock unchanged past the last
+        fired entry; idle hooks are the caller's business
+        (:meth:`LocusCluster.settle`)."""
+        self._spin(horizon)
+
+    def _spin(self, horizon: float) -> None:
+        """The fused hot loop: ready sweep, calendar peek, take and fire in
+        one frame with hoisted locals.  Fires every entry with time ≤
+        ``horizon``; semantically identical to calling :meth:`step` while
+        :meth:`_peek_time` ≤ horizon, minus the per-event call frames.
+
+        Mutable scheduler state (``_cursor``, ``_bucket_count``, ``now``…)
+        stays on ``self``: every fired callback may push new entries.  Only
+        container identities (stable across rotations and rebases) and
+        C functions are hoisted.
+        """
+        ready = self._ready
+        buckets = self._buckets
+        far = self._far
+        free = self._free
+        pop = heappop
+        popleft = ready.popleft
+        cal = None            # cached calendar head (with its bucket)
+        cal0 = cal1 = 0.0     # its unpacked (time, seq)
+        calev = None          # its _Event, when cancellable
+        bucket = None
+        while True:
+            # -- ready sweep (tombstone discard) ------------------------
+            h = None
+            while ready:
+                h = ready[0]
+                if h.__class__ is tuple or not h.cancelled:
+                    break
+                popleft()
+                h = None
+            # -- calendar head: cached unless a push/take dirtied it ----
+            if self._cal_dirty or cal is None or \
+                    (calev is not None and calev.cancelled):
+                if self._discards > 4096:
+                    self._maybe_purge()
+                self._cal_dirty = False
+                cal = None
+                count = self._bucket_count
+                if count:
+                    cursor = self._cursor
+                    while cursor < _NBUCKETS:
+                        bucket = buckets[cursor]
+                        while bucket:
+                            cal = bucket[0]
+                            o = cal[2]
+                            if o.__class__ is _Event and o.cancelled:
+                                pop(bucket)
+                                count -= 1
+                                self._discards += 1
+                                cal = None
+                            else:
+                                break
+                        if cal is not None:
+                            break
+                        cursor += 1
+                    self._cursor = cursor
+                    self._bucket_count = count
+                if cal is None:
+                    while far:
+                        cal = far[0]
+                        o = cal[2]
+                        if o.__class__ is _Event and o.cancelled:
+                            pop(far)
+                            self._discards += 1
+                            cal = None
+                        else:
+                            break
+                    bucket = None
+                if cal is not None:
+                    cal0 = cal[0]
+                    cal1 = cal[1]
+                    o = cal[2]
+                    calev = o if o.__class__ is _Event else None
+            # -- choose: ready head vs calendar head --------------------
+            if h is not None:
+                # Ready entries sit at the current clock (≤ horizon); only
+                # a same-instant calendar entry with a smaller seq preempts.
+                if cal is None or cal0 != self.now or cal1 > \
+                        (h[0] if h.__class__ is tuple else h.seq):
+                    popleft()
+                    self.events_processed += 1
+                    if h.__class__ is tuple:
+                        self._resume(h[1], h[2])
+                    else:
+                        fn = h.fn
+                        args = h.args
+                        if h.recyclable:
+                            free.append(h)
+                        fn(*args)
+                    continue
+            elif cal is None or cal0 > horizon:
+                return
+            # -- take + fire the calendar head --------------------------
+            if bucket is not None:
+                pop(bucket)
+                self._bucket_count -= 1
+            else:
+                self._cal_take(cal)        # far head: rotate the window
+            if cal0 != self.now:
+                self.now = cal0
+            self.events_processed += 1
+            entry = cal
+            cal = None                     # consumed: re-peek next round
+            o = entry[2]
+            c = o.__class__
+            if c is Task:
+                self._resume(o, None)
+            elif c is _Event:
+                o.fn(*o.args)
+            else:
+                o(*entry[3])
 
     def run_task(self, gen: Generator, name: str = "") -> Any:
         """Spawn a task, drive the simulation until it completes, return its
@@ -143,9 +725,36 @@ class Simulator:
         return task.result()
 
     def _peek_time(self) -> float:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else float("inf")
+        """Timestamp of the earliest live entry (inf when drained)."""
+        ready = self._ready
+        while ready:
+            h = ready[0]
+            if h.__class__ is tuple or not h.cancelled:
+                # Ready entries always sit at the current clock: the clock
+                # only advances through calendar takes, which require an
+                # empty ready deque.
+                return self.now
+            ready.popleft()
+        head = self._cal_peek()
+        return head[0] if head is not None else _INF
+
+    def pending(self) -> int:
+        """True count of scheduled-but-unfired entries, excluding cancelled
+        tombstones (``len`` of the old heap counted those)."""
+        live = 0
+        for h in self._ready:
+            if h.__class__ is tuple or not h.cancelled:
+                live += 1
+        for bucket in self._buckets:
+            for entry in bucket:
+                o = entry[2]
+                if o.__class__ is not _Event or not o.cancelled:
+                    live += 1
+        for entry in self._far:
+            o = entry[2]
+            if o.__class__ is not _Event or not o.cancelled:
+                live += 1
+        return live
 
     # -- timeouts ---------------------------------------------------------
 
@@ -202,5 +811,5 @@ class Simulator:
         return out
 
     def __repr__(self) -> str:
-        return (f"<Simulator t={self.now:.3f} queued={len(self._heap)} "
+        return (f"<Simulator t={self.now:.3f} queued={self.pending()} "
                 f"processed={self.events_processed}>")

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.errors import TaskCancelled
-from repro.sim.future import Future
+from repro.sim.future import Future, _PENDING
 
 
 class Task:
@@ -23,7 +23,7 @@ class Task:
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "task")
-        self.done = Future(label=f"done:{self.name}")
+        self.done = Future(label=self.name)
         # Flight-recorder span context, inherited from the spawning task so
         # background work parents under the syscall that caused it.
         parent = sim.current_task
@@ -95,12 +95,18 @@ class Task:
         if self._cancelled:
             # A cancel raced with this step; the throw is already scheduled.
             return
-        if isinstance(yielded, Future):
+        # Exact-type checks first (the hot kernel shapes: virtual-time
+        # charges and futures), isinstance fallbacks after for subclasses.
+        cls = yielded.__class__
+        if cls is float or cls is int:
+            # Timer step: the simulator queues the task itself, no event.
+            self.sim._schedule_timer(float(yielded), self)
+        elif cls is Future or isinstance(yielded, Future):
             self._wait_future(yielded)
         elif isinstance(yielded, Task):
             self._wait_future(yielded.done)
         elif isinstance(yielded, (int, float)):
-            self.sim.schedule(float(yielded), self._step_send, None)
+            self.sim._schedule_timer(float(yielded), self)
         elif yielded is None:
             # Bare yield: reschedule immediately (cooperative yield point).
             self.sim.call_soon(self._step_send, None)
@@ -110,18 +116,20 @@ class Task:
 
     def _wait_future(self, fut: Future) -> None:
         self._waiting_on = fut
+        if fut._state is _PENDING:
+            fut._callbacks.append(self._future_fired)
+        else:
+            self._future_fired(fut)
 
-        def _resume(f: Future) -> None:
-            if self._waiting_on is not f:
-                return  # stale wake-up after cancellation
-            self._waiting_on = None
-            exc = f.exception()
-            if exc is not None:
-                self.sim.call_soon(self._step_throw, exc)
-            else:
-                self.sim.call_soon(self._step_send, f.result())
-
-        fut.add_callback(_resume)
+    def _future_fired(self, f: Future) -> None:
+        """Completion callback: hand the task to the simulator's ready
+        queue.  Runs at resolve time, so the staleness check (a wake-up
+        racing a cancellation) happens exactly where the old closure-based
+        callback performed it."""
+        if self._waiting_on is not f:
+            return
+        self._waiting_on = None
+        self.sim._ready_resume(self, f)
 
     def __repr__(self) -> str:
         state = "done" if self.finished else "running"

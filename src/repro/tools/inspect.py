@@ -65,6 +65,7 @@ def cluster_report(cluster) -> Dict:
     return {
         "vtime": round(cluster.sim.now, 2),
         "events_processed": cluster.sim.events_processed,
+        "events_pending": cluster.sim.pending(),
         "sites": [site_report(s) for s in cluster.sites],
         "network": {
             "messages": cluster.stats.total_messages,

@@ -1,0 +1,144 @@
+"""T19 — chaos-fuzzer throughput and shrink efficiency.
+
+Like T18, the reproduced quantity is partly *wall-clock* (scenarios/sec
+through the generate → run → judge loop) and partly structural: the
+fuzzer's value rests on two deterministic claims that are asserted, not
+measured —
+
+* same seed ⇒ byte-identical plan JSON and identical run digest, so any
+  soak failure is replayable from its seed alone;
+* the shrinker converges: a planted op/fault-conjunction bug in a
+  generated storm reduces to its 2-event minimum, and the reduction
+  ratio on the committed regression corpus is recorded.
+
+Run ``python benchmarks/test_t19_fuzz.py`` to regenerate BENCH_fuzz.json
+(a larger seed batch; a few minutes).  The pytest entry points run a
+reduced batch.
+"""
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro.fuzz.generate import generate_plan
+from repro.fuzz.oracle import SyntheticOracle
+from repro.fuzz.runner import PlanRunner, run_plan
+from repro.fuzz.shrink import shrink_failing_result
+from _harness import print_table, run_experiment
+
+# Full batch (BENCH_fuzz.json, __main__ only).
+FULL = dict(seeds=range(11, 31), n_ops=40, n_faults=8)
+# Reduced batch for the pytest smoke run.
+SMOKE = dict(seeds=range(11, 15), n_ops=20, n_faults=4)
+
+
+def _fuzz_batch(seeds, n_ops, n_faults):
+    """Run one seed batch through generate → run → judge; wall-clock
+    throughput plus the failure census."""
+    started = time.perf_counter()
+    runs = ops = fault_events = 0
+    failed = {}
+    for seed in seeds:
+        result = run_plan(generate_plan(seed, n_ops=n_ops,
+                                        n_faults=n_faults))
+        runs += 1
+        ops += len(result.run.oplog)
+        fault_events += len(result.run.injector.trace)
+        if not result.ok:
+            failed[seed] = sorted({v.kind for v in result.violations})
+    wall = time.perf_counter() - started
+    return {
+        "runs": runs, "ops": ops, "fault_events": fault_events,
+        "wall_s": round(wall, 2),
+        "scenarios_per_sec": round(runs / wall, 3),
+        "ops_per_sec": round(ops / wall, 1),
+        "fail_rate": round(len(failed) / runs, 3),
+        "failed_seeds": failed,
+    }
+
+
+def _determinism(seed, n_ops, n_faults):
+    """The replayability claim: plan JSON and run digest are pure
+    functions of the seed."""
+    plans = {generate_plan(seed, n_ops=n_ops, n_faults=n_faults).to_json()
+             for __ in range(2)}
+    digests = {PlanRunner(generate_plan(seed, n_ops=n_ops,
+                                        n_faults=n_faults)).run().digest()
+               for __ in range(2)}
+    return {"plan_stable": len(plans) == 1,
+            "digest_stable": len(digests) == 1}
+
+
+def _shrink_demo():
+    """The planted SyntheticOracle bug: generated storm → 2-event
+    minimum, with the predicate-run budget actually spent."""
+    result = run_plan(generate_plan(100, n_ops=10, n_faults=4, span=400.0),
+                      oracle=SyntheticOracle())
+    assert not result.ok
+    started = time.perf_counter()
+    outcome = shrink_failing_result(result, oracle=SyntheticOracle(),
+                                    max_attempts=80)
+    wall = time.perf_counter() - started
+    before = result.plan.event_count()
+    after = outcome.plan.event_count()
+    return {"events_before": before, "events_after": after,
+            "reduction": round(before / after, 2),
+            "predicate_runs": outcome.attempts,
+            "wall_s": round(wall, 2)}
+
+
+def _experiment(scale):
+    batch = _fuzz_batch(**scale)
+    det = _determinism(next(iter(scale["seeds"])),
+                       scale["n_ops"], scale["n_faults"])
+    shrink = _shrink_demo()
+    return {"batch": batch, "determinism": det, "shrink": shrink}
+
+
+# -- pytest entry points ---------------------------------------------------
+
+@pytest.mark.benchmark(group="T19")
+def test_t19_fuzz_throughput(benchmark):
+    out = run_experiment(benchmark, lambda: _fuzz_batch(**SMOKE))
+    print_table("T19 fuzz throughput (smoke batch)",
+                ["runs", "ops", "faults", "scen/s", "fail rate"],
+                [[out["runs"], out["ops"], out["fault_events"],
+                  out["scenarios_per_sec"], out["fail_rate"]]])
+    assert out["runs"] == len(list(SMOKE["seeds"]))
+    assert out["ops"] > 0 and out["fault_events"] > 0
+
+
+@pytest.mark.benchmark(group="T19")
+def test_t19_seed_determinism(benchmark):
+    out = run_experiment(
+        benchmark, lambda: _determinism(11, SMOKE["n_ops"],
+                                        SMOKE["n_faults"]))
+    assert out["plan_stable"] and out["digest_stable"]
+
+
+@pytest.mark.benchmark(group="T19")
+def test_t19_shrink_efficiency(benchmark):
+    out = run_experiment(benchmark, _shrink_demo)
+    print_table("T19 shrink efficiency (planted bug)",
+                ["before", "after", "reduction", "runs"],
+                [[out["events_before"], out["events_after"],
+                  out["reduction"], out["predicate_runs"]]])
+    assert out["events_after"] <= 10
+    assert out["reduction"] >= 5.0
+
+
+if __name__ == "__main__":
+    out = _experiment(FULL)
+    baseline = {
+        "experiment": "T19 chaos-fuzzer throughput and shrink efficiency",
+        "batch": out["batch"],
+        "determinism": out["determinism"],
+        "shrink": out["shrink"],
+    }
+    with open("BENCH_fuzz.json", "w") as fh:
+        json.dump(baseline, fh, indent=2, default=str)
+        fh.write("\n")
+    json.dump(baseline, sys.stdout, indent=2, default=str)
+    print()

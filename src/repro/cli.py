@@ -320,11 +320,68 @@ def trace_main(argv: List[str]) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# fuzz subcommand: randomized scenarios, auto-shrinking, soak loops
+# ----------------------------------------------------------------------
+
+def fuzz_main(argv: List[str]) -> int:
+    from repro.fuzz import FuzzPlan, run_plan, soak
+    parser = argparse.ArgumentParser(
+        prog="repro.cli fuzz",
+        description="Chaos fuzzing: run seeded random workload+fault "
+                    "scenarios against the cluster, judge the merged end "
+                    "state, auto-shrink failures to minimal replayable "
+                    "plans (see docs/FAULTS.md).")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; soak runs use seed, seed+1, ...")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="number of scenarios (default 1, or until "
+                             "--soak expires)")
+    parser.add_argument("--soak", type=float, default=None, metavar="MIN",
+                        help="keep fuzzing for this many wall-clock "
+                             "minutes")
+    parser.add_argument("--shrink", action="store_true",
+                        help="auto-shrink failing scenarios to minimal "
+                             "plans")
+    parser.add_argument("--replay", default=None, metavar="PLAN.json",
+                        help="replay a committed FuzzPlan instead of "
+                             "generating scenarios")
+    parser.add_argument("--ops", type=int, default=60,
+                        help="workload ops per generated scenario")
+    parser.add_argument("--faults", type=int, default=8,
+                        help="fault events per generated scenario")
+    parser.add_argument("--sites", type=int, default=3)
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write failing plans (and shrunk minima) "
+                             "here, named fuzz-<seed>[-shrunk].json")
+    opts = parser.parse_args(argv)
+
+    if opts.replay is not None:
+        with open(opts.replay) as fh:
+            plan = FuzzPlan.from_json(fh.read())
+        result = run_plan(plan)
+        print(result.report())
+        print(f"run digest: {result.digest()}")
+        return 0 if result.ok else 1
+
+    runs = opts.runs
+    if runs is None and opts.soak is None:
+        runs = 1
+    stats = soak(opts.seed, runs=runs, minutes=opts.soak,
+                 n_ops=opts.ops, n_faults=opts.faults,
+                 n_sites=opts.sites, shrink=opts.shrink,
+                 out_dir=opts.out, log=print)
+    print(stats.report())
+    return 0 if stats.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sites", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)

@@ -90,10 +90,15 @@ class DirView:
         self.entries: List[DirEntry] = list(entries or [])
 
     def _find(self, name: str) -> Optional[DirEntry]:
+        """The record for ``name``, preferring the live entry: a name may
+        carry tombstones of earlier files alongside its current binding."""
+        found = None
         for entry in self.entries:
             if entry.name == name:
-                return entry
-        return None
+                if not entry.deleted:
+                    return entry
+                found = entry
+        return found
 
     def lookup(self, name: str) -> Optional[DirEntry]:
         """Live entry by name; tombstones are invisible to lookups."""
@@ -107,8 +112,13 @@ class DirView:
         existing = self._find(name)
         if existing is not None and not existing.deleted:
             raise EEXIST(name)
-        if existing is not None:
-            self.entries.remove(existing)  # resurrect over a tombstone
+        # Resurrecting the *same* file replaces its tombstone; a tombstone
+        # of a *different* file must survive the insert — it is the only
+        # record telling a partition merge that the old file's binding was
+        # removed, not concurrently created (rules (b)/(d), section 4.4).
+        for tomb in [e for e in self.entries
+                     if e.name == name and e.ino == ino]:
+            self.entries.remove(tomb)
         entry = DirEntry(name=name, ino=ino, ftype=ftype)
         self.entries.append(entry)
         return entry

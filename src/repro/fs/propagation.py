@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
-from repro.errors import FsError, NetworkError
+from repro.errors import EIO, FsError, NetworkError
 from repro.fs.types import Gfile
 from repro.sim.sync import SimQueue
 from repro.storage.shadow import ShadowFile
@@ -133,7 +133,13 @@ class Propagator:
     def _service_one(self, req: _Request) -> Generator:
         try:
             yield from self._service(req)
-        except NetworkError:
+        except (NetworkError, EIO):
+            # EIO here is a *physical write* failure installing pulled
+            # pages: the shadow already rolled back to the coherent old
+            # copy.  Dropping the request would strand this replica stale
+            # forever (no later membership change re-derives it), so a
+            # transient disk fault gets the same bounded retry as contact
+            # loss.
             self._retry_later(req)
         except FsError:
             self.stats.failed += 1
@@ -283,7 +289,9 @@ class Propagator:
             yield from self._pull(req, pack, inode.version,
                                   manifest_source=source, waits=waits)
             self._pending.discard(req.gfile)
-        except NetworkError:
+        except (NetworkError, EIO):
+            # Same policy as _service_one: a transient disk-write fault
+            # must not permanently abandon convergence.
             self._retry_later(req)
         except FsError:
             self.stats.failed += 1

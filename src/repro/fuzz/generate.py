@@ -1,0 +1,126 @@
+"""Seeded scenario generator: one integer → one :class:`FuzzPlan`.
+
+Generation randomness is its own ``random.Random(seed)`` — independent of
+the simulator RNG the plan's *execution* draws from — so the JSON the
+generator emits is a pure function of the seed and the knob values.
+
+Shape of a generated storm:
+
+* client sites (where workload ops issue) and crash targets are disjoint,
+  so the drivers survive the storm they are measuring;
+* crash/restart and partition/heal always come in pairs, every plan ends
+  with all sites up and the network whole — the final audit then judges a
+  *merged* store, the paper's §4 claim;
+* fault kinds are drawn from a weighted mix of the whole
+  :mod:`repro.faults` vocabulary (crashes, partitions, loss bursts,
+  latency spikes, disk write errors, scripted protocol-message drops).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.faults.plan import FaultEvent
+from repro.fuzz.plan import FuzzPlan, WorkloadOp
+from repro.workloads.generators import op_mix_schedule
+
+# Message types worth dropping: each loss lands mid-protocol on a
+# different layer (page reads, the open handshake, the commit fan-out).
+DROPPABLE_MTYPES = ("fs.read_page", "fs.open", "fs.commit",
+                    "fs.write_page", "fs.css_open")
+
+# Weighted fault vocabulary; paired kinds inject two events each.
+FAULT_MIX = (
+    ("crash_restart", 0.30), ("partition_heal", 0.22),
+    ("loss_burst", 0.14), ("latency_spike", 0.12),
+    ("disk_errors", 0.10), ("drop", 0.12),
+)
+
+
+def generate_plan(seed: int, n_ops: int = 60, n_faults: int = 8,
+                  n_sites: int = 3, span: float = 3000.0,
+                  name: Optional[str] = None) -> FuzzPlan:
+    """Compose a randomized workload schedule with a randomized fault
+    schedule into one replayable plan."""
+    rng = random.Random(seed)
+    plan = FuzzPlan(seed=seed, name=name or f"fuzz-{seed}",
+                    n_sites=n_sites,
+                    copies=rng.choice((2, min(3, n_sites))),
+                    tree_dirs=rng.choice((2, 3)),
+                    tree_files=rng.choice((2, 3)),
+                    file_size=rng.choice((256, 512, 1024)))
+
+    # Crash targets never include site 0 (the primary client) so at least
+    # one workload driver always survives.
+    crashable = list(range(1, n_sites))
+    crash_targets = sorted(rng.sample(
+        crashable, rng.randint(0, min(2, len(crashable)))))
+    client_sites = [s for s in range(n_sites) if s not in crash_targets]
+
+    plan.faults = _fault_schedule(rng, plan, span, crash_targets, n_faults)
+    entries = op_mix_schedule(rng, plan.tree_paths(), n_ops, span,
+                              sites=client_sites)
+    plan.ops = [WorkloadOp(**entry) for entry in entries]
+    return plan
+
+
+def _fault_schedule(rng: random.Random, plan: FuzzPlan, span: float,
+                    crash_targets: List[int],
+                    n_faults: int) -> List[FaultEvent]:
+    kinds = [k for k, __ in FAULT_MIX]
+    weights = [w for __, w in FAULT_MIX]
+    crash_pool = list(crash_targets)
+    events: List[FaultEvent] = []
+    while len(events) < n_faults:
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "crash_restart":
+            if not crash_pool:
+                continue
+            site = crash_pool.pop(rng.randrange(len(crash_pool)))
+            t_down = round(rng.uniform(0.05, 0.6) * span, 1)
+            t_up = round(rng.uniform(t_down + 0.1 * span, 0.85 * span), 1)
+            events.append(FaultEvent("crash", at=t_down, site=site))
+            events.append(FaultEvent("restart", at=t_up, site=site,
+                                     merge=True))
+        elif kind == "partition_heal":
+            if plan.n_sites < 2 or any(e.kind == "partition"
+                                       for e in events):
+                continue    # at most one split per plan: splits can't nest
+            sites = list(range(plan.n_sites))
+            left_n = rng.randint(1, plan.n_sites - 1)
+            left = sorted(rng.sample(sites, left_n))
+            right = sorted(s for s in sites if s not in left)
+            t_split = round(rng.uniform(0.05, 0.55) * span, 1)
+            t_heal = round(rng.uniform(t_split + 0.1 * span,
+                                       0.9 * span), 1)
+            events.append(FaultEvent("partition", at=t_split,
+                                     groups=[left, right]))
+            events.append(FaultEvent("heal", at=t_heal, merge=True))
+        elif kind == "loss_burst":
+            events.append(FaultEvent(
+                "loss_burst", at=round(rng.uniform(0.0, 0.8) * span, 1),
+                rate=round(rng.uniform(0.02, 0.15), 3),
+                duration=round(rng.uniform(0.03, 0.15) * span, 1)))
+        elif kind == "latency_spike":
+            pair = rng.sample(range(plan.n_sites), 2) \
+                if plan.n_sites >= 2 and rng.random() < 0.7 else (None,
+                                                                  None)
+            events.append(FaultEvent(
+                "latency_spike",
+                at=round(rng.uniform(0.0, 0.8) * span, 1),
+                delta=round(rng.uniform(1.0, 8.0), 1),
+                duration=round(rng.uniform(0.05, 0.2) * span, 1),
+                src=pair[0], dst=pair[1]))
+        elif kind == "disk_errors":
+            events.append(FaultEvent(
+                "disk_errors", at=round(rng.uniform(0.0, 0.8) * span, 1),
+                site=rng.randrange(plan.n_sites),
+                count=rng.randint(1, 3)))
+        elif kind == "drop":
+            events.append(FaultEvent(
+                "drop", at=round(rng.uniform(0.0, 0.8) * span, 1),
+                mtype=rng.choice(DROPPABLE_MTYPES),
+                count=rng.randint(1, 2)))
+    events.sort(key=lambda e: (e.at if e.at is not None else 0.0, e.kind))
+    return events

@@ -1,0 +1,280 @@
+"""Oracles: judge a finished :class:`~repro.fuzz.runner.FuzzRun`.
+
+The default :class:`FuzzOracle` layers four families of checks on top of
+whatever the mid-storm invariant audits already caught:
+
+* **invariant audit** — the full :class:`repro.faults.InvariantChecker`
+  sweep (fsck + version-vector replica divergence) on the merged store.
+  Orphan inodes are excluded by default: a crash between allocation and
+  the directory commit legitimately strands an inode for fsck to reap
+  (classic UNIX semantics the paper keeps); every other category is a
+  real violation.
+* **byte convergence** — stricter than version vectors: two copies that
+  *claim* the same version must carry identical page bytes.
+* **session guarantees** — every read the runner marked ``clean`` (no
+  fault disturbance, stable model expectation) must have returned the
+  content of the last successful write; reads mid-storm are exempt, the
+  merged end state is not.
+* **model read-back + liveness** — after reconciliation, every
+  unambiguous path the model tracks must resolve to the expected bytes
+  (flagged conflicts are legitimate pending states and are skipped),
+  every successfully unlinked path must stay gone, every workload driver
+  must have finished its schedule, and no syscall span on a never-crashed
+  client site may be left open in the flight recorder.
+
+A failing run's :class:`FuzzResult` carries the violations and the plan;
+``repro.fuzz.shrink`` turns it into a minimal reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import LocusError
+from repro.faults.invariants import InvariantChecker, Violation
+from repro.fuzz.runner import (AMBIGUOUS, FuzzRun, MISSING, NamespaceModel,
+                               _digest)
+
+# fsck categories that are always violations.  "orphan_inodes" is off by
+# default (see module docstring); strict oracles can add it back.
+DEFAULT_AUDIT = ("fsck:dangling_entries", "fsck:placement_errors",
+                 "fsck:unflagged_conflicts", "fsck:nlink_errors",
+                 "replica_divergence")
+
+
+@dataclass
+class FuzzResult:
+    """What one fuzz iteration produced: the run record plus verdicts."""
+
+    run: FuzzRun
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def plan(self):
+        return self.run.plan
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def failures(self) -> List[str]:
+        return [f"[{v.kind}] {v.detail}" for v in self.violations]
+
+    def digest(self) -> str:
+        return self.run.digest()
+
+    def report(self) -> str:
+        run = self.run
+        ops_ok = sum(1 for r in run.oplog if r.ok)
+        lines = [f"plan {self.plan.name!r} seed={self.plan.seed}: "
+                 f"{len(run.oplog)} ops ({ops_ok} ok), "
+                 f"{len(run.injector.trace)} fault events, "
+                 f"{len(self.violations)} violations"]
+        lines += [f"  VIOLATION [{v.kind}] {v.detail}"
+                  for v in self.violations]
+        return "\n".join(lines)
+
+
+class FuzzOracle:
+    """The default end-of-run judge."""
+
+    def __init__(self, audit=DEFAULT_AUDIT, check_sessions: bool = True,
+                 check_liveness: bool = True):
+        self.audit = tuple(audit)
+        self.check_sessions = check_sessions
+        self.check_liveness = check_liveness
+
+    # -- entry point -----------------------------------------------------
+
+    def judge(self, run: FuzzRun) -> FuzzResult:
+        violations: List[Violation] = []
+        violations += self._filter(run.injector.violations)
+        violations += self._filter(
+            InvariantChecker(run.cluster, run.plan).check())
+        violations += self._byte_convergence(run)
+        if self.check_sessions:
+            violations += self._session_guarantees(run)
+        violations += self._model_readback(run)
+        if self.check_liveness:
+            violations += self._liveness(run)
+        return FuzzResult(run=run, violations=violations)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _make(self, run: FuzzRun, kind: str, detail: str) -> Violation:
+        return Violation(kind=kind, detail=detail, seed=run.plan.seed,
+                         plan_json=run.plan.name)
+
+    def _filter(self, violations) -> List[Violation]:
+        return [v for v in violations
+                if not v.kind.startswith("fsck:")
+                or v.kind in self.audit]
+
+    # -- byte convergence ------------------------------------------------
+
+    def _byte_convergence(self, run: FuzzRun) -> List[Violation]:
+        """Copies with equal version vectors must be byte-identical —
+        silent data divergence that vv comparison cannot see."""
+        out: List[Violation] = []
+        cluster = run.cluster
+        mount = cluster.sites[0].fs.mount
+        for gfs in sorted(mount.groups):
+            packs = {}
+            for site_id in mount.pack_sites(gfs):
+                site = cluster.site(site_id)
+                if site.up and gfs in site.packs:
+                    packs[site_id] = site.packs[gfs]
+            inos = sorted({ino for pack in packs.values()
+                           for ino in pack.inodes})
+            for ino in inos:
+                copies = [(s, p, p.inodes[ino])
+                          for s, p in sorted(packs.items())
+                          if ino in p.inodes]
+                data = [(s, p, i) for s, p, i in copies
+                        if i.has_data and not i.deleted and not i.conflict]
+                if len(data) < 2:
+                    continue
+                first = data[0][2].version
+                if any(i.version != first for __, __p, i in data[1:]):
+                    continue    # vv divergence: InvariantChecker's case
+                images = {s: _digest(self._image(p, i))
+                          for s, p, i in data}
+                if len(set(images.values())) > 1:
+                    out.append(self._make(
+                        run, "data_divergence",
+                        f"gfile=({gfs},{ino}) equal versions, "
+                        f"different bytes: {images}"))
+        return out
+
+    @staticmethod
+    def _image(pack, inode) -> bytes:
+        parts = []
+        for block in inode.pages:
+            parts.append(b"" if block is None else pack.read_block(block))
+        return b"".join(parts)[:inode.size]
+
+    # -- session guarantees ----------------------------------------------
+
+    def _session_guarantees(self, run: FuzzRun) -> List[Violation]:
+        out: List[Violation] = []
+        for rec in run.oplog:
+            if rec.op.op != "read" or not rec.ok or not rec.clean:
+                continue
+            if rec.expected in (AMBIGUOUS, None):
+                continue
+            if rec.expected == MISSING:
+                # A clean successful read of a path the model says is
+                # absent: the namespace resurrected something.
+                out.append(self._make(
+                    run, "session:phantom_read",
+                    f"op#{rec.idx} read {rec.op.path!r} at "
+                    f"t={rec.start:.1f} succeeded but the path should "
+                    f"not exist"))
+            elif rec.result != rec.expected:
+                out.append(self._make(
+                    run, "session:stale_read",
+                    f"op#{rec.idx} read {rec.op.path!r} at "
+                    f"t={rec.start:.1f} returned {rec.result} expected "
+                    f"{rec.expected}"))
+        return out
+
+    # -- model read-back -------------------------------------------------
+
+    def _model_readback(self, run: FuzzRun) -> List[Violation]:
+        out: List[Violation] = []
+        model: NamespaceModel = run.model
+        sh = run.cluster.shell(0)
+        for path in sorted(model.files):
+            if path in model.ambiguous:
+                continue
+            fid = model.files[path]
+            if fid in model.ambiguous_fids:
+                continue
+            try:
+                attrs = sh.stat(path)
+            except LocusError as exc:
+                out.append(self._make(
+                    run, "model:lost_path",
+                    f"{path!r} should exist after reconciliation, "
+                    f"stat raised {type(exc).__name__}"))
+                continue
+            if attrs.get("conflict"):
+                continue    # flagged conflict: legitimate pending state
+            try:
+                got = _digest(sh.read_file(path))
+            except LocusError as exc:
+                out.append(self._make(
+                    run, "model:unreadable_path",
+                    f"{path!r} stat ok but read raised "
+                    f"{type(exc).__name__}"))
+                continue
+            want = _digest(model.content[fid])
+            if got != want:
+                out.append(self._make(
+                    run, "model:content_mismatch",
+                    f"{path!r} content {got} != last committed write "
+                    f"{want}"))
+        for path in sorted(model.removed - set(model.files)
+                           - model.ambiguous):
+            try:
+                sh.stat(path)
+            except LocusError:
+                continue
+            out.append(self._make(
+                run, "model:resurrected_path",
+                f"{path!r} was unlinked but exists after "
+                f"reconciliation"))
+        return out
+
+    # -- liveness --------------------------------------------------------
+
+    def _liveness(self, run: FuzzRun) -> List[Violation]:
+        out: List[Violation] = []
+        for site_id in run.unfinished_drivers:
+            out.append(self._make(
+                run, "liveness:driver_stuck",
+                f"workload driver at site {site_id} never finished its "
+                f"schedule"))
+        tracer = getattr(run.cluster, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            crashed = set()
+            for __, kind, detail in run.injector.trace:
+                if kind == "crash":
+                    crashed.add(json.loads(detail).get("site"))
+            for span in tracer.open_spans(kind="syscall"):
+                if span.site in crashed:
+                    continue
+                out.append(self._make(
+                    run, "liveness:leaked_span",
+                    f"syscall span {span.name!r} on site {span.site} "
+                    f"opened t={span.start:.1f} never finished"))
+        return out
+
+
+class SyntheticOracle(FuzzOracle):
+    """A deliberately planted bug for shrinker demos and tests: trips
+    when the run contains a successful workload op of ``op_kind`` AND a
+    fired fault of ``fault_kind``.  The minimal reproduction is exactly
+    one of each — what the shrinker must converge to."""
+
+    def __init__(self, op_kind: str = "rename",
+                 fault_kind: str = "crash"):
+        super().__init__(check_sessions=False, check_liveness=False)
+        self.op_kind = op_kind
+        self.fault_kind = fault_kind
+
+    def judge(self, run: FuzzRun) -> FuzzResult:
+        ops = [r for r in run.oplog if r.op.op == self.op_kind and r.ok]
+        faults = [t for t, k, __ in run.injector.trace
+                  if k == self.fault_kind]
+        violations: List[Violation] = []
+        if ops and faults:
+            violations.append(self._make(
+                run, "synthetic:conjunction",
+                f"successful {self.op_kind!r} (op#{ops[0].idx}) and "
+                f"fired {self.fault_kind!r} (t={faults[0]:.1f}) "
+                f"coexist"))
+        return FuzzResult(run=run, violations=violations)

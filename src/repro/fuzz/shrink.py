@@ -1,0 +1,257 @@
+"""Auto-shrinking: turn a failing plan into a *minimal* failing plan.
+
+Splintercat-style (SNIPPETS.md): start with the aggressive strategy —
+subdivide the whole timeline and retry halves, keeping whichever half
+still fails — and, on repeated non-reproduction (neither half fails: the
+bug needs events from both), escalate to progressively more conservative
+strategies:
+
+1. ``halves``      — bisect the combined op+fault timeline;
+2. ``drop_ops``    — ddmin over workload ops (chunks, then singles);
+3. ``drop_faults`` — ddmin over fault events;
+4. ``simplify``    — shorten vtime spans (rescale the schedule) and
+   shrink the initial tree.
+
+After any conservative strategy makes progress the shrinker rewinds to
+the aggressive end of the ladder — a smaller plan may well bisect where
+the original would not.  The predicate is memoized on the candidate's
+canonical JSON, so rewinds never re-run a scenario, and the whole loop
+is deterministic: same failing plan + same predicate ⇒ same minimal
+plan, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.fuzz.plan import FuzzPlan
+
+Predicate = Callable[[FuzzPlan], bool]
+
+
+@dataclass
+class ShrinkStep:
+    """One strategy application, for reports and escalation tests."""
+
+    strategy: str
+    before: int         # event count going in
+    after: int          # event count coming out
+    attempts: int       # predicate runs this step
+    reproduced: bool    # did the strategy reduce the plan at all?
+
+
+@dataclass
+class ShrinkOutcome:
+    plan: FuzzPlan
+    steps: List[ShrinkStep] = field(default_factory=list)
+    attempts: int = 0
+
+    @property
+    def escalations(self) -> List[str]:
+        """Strategies tried after an earlier one stopped reproducing."""
+        return [s.strategy for s in self.steps if not s.reproduced]
+
+    def report(self) -> str:
+        lines = [f"shrunk to {self.plan.event_count()} events "
+                 f"({len(self.plan.ops)} ops + {len(self.plan.faults)} "
+                 f"faults) in {self.attempts} runs"]
+        lines += [f"  {s.strategy:12s} {s.before:4d} -> {s.after:4d} "
+                  f"events ({s.attempts} runs"
+                  f"{'' if s.reproduced else ', no reproduction'})"
+                  for s in self.steps]
+        return "\n".join(lines)
+
+
+class Shrinker:
+
+    STRATEGIES = ("halves", "drop_ops", "drop_faults", "simplify")
+
+    def __init__(self, fails: Predicate, max_attempts: int = 800):
+        self._fails_raw = fails
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self._cache = {}
+
+    # -- predicate -------------------------------------------------------
+
+    def _fails(self, plan: FuzzPlan) -> bool:
+        key = plan.to_json()
+        if key in self._cache:
+            return self._cache[key]
+        if self.attempts >= self.max_attempts:
+            return False        # budget exhausted: treat as non-repro
+        self.attempts += 1
+        verdict = bool(self._fails_raw(plan))
+        self._cache[key] = verdict
+        return verdict
+
+    # -- entry point -----------------------------------------------------
+
+    def shrink(self, plan: FuzzPlan) -> ShrinkOutcome:
+        if not self._fails(plan):
+            raise ValueError("plan does not fail; nothing to shrink")
+        outcome = ShrinkOutcome(plan=plan)
+        current = plan
+        while True:
+            progressed = False
+            for strategy in self.STRATEGIES:
+                before = current.event_count()
+                start_attempts = self.attempts
+                reduced = getattr(self, f"_{strategy}")(current)
+                after = (reduced or current).event_count()
+                outcome.steps.append(ShrinkStep(
+                    strategy=strategy, before=before, after=after,
+                    attempts=self.attempts - start_attempts,
+                    reproduced=reduced is not None))
+                if reduced is not None:
+                    current = reduced
+                    progressed = True
+                    if strategy != self.STRATEGIES[0]:
+                        break   # rewind the ladder: re-try aggressive
+            if not progressed or self.attempts >= self.max_attempts:
+                break
+        renamed = current.replace(name=f"{plan.name}-shrunk")
+        outcome.plan = renamed
+        outcome.attempts = self.attempts
+        return outcome
+
+    # -- combined-timeline helpers ---------------------------------------
+
+    @staticmethod
+    def _timeline(plan: FuzzPlan) -> List[Tuple[str, object]]:
+        merged = [("op", op) for op in plan.ops] + \
+                 [("fault", ev) for ev in plan.faults]
+        merged.sort(key=lambda item: (
+            item[1].at if item[1].at is not None else 0.0,
+            0 if item[0] == "op" else 1))
+        return merged
+
+    @staticmethod
+    def _rebuild(plan: FuzzPlan,
+                 timeline: List[Tuple[str, object]]) -> FuzzPlan:
+        return plan.replace(
+            ops=[item for kind, item in timeline if kind == "op"],
+            faults=[item for kind, item in timeline if kind == "fault"])
+
+    # -- strategies ------------------------------------------------------
+
+    def _halves(self, plan: FuzzPlan) -> Optional[FuzzPlan]:
+        """Bisect the combined timeline; keep a failing half, repeat."""
+        timeline = self._timeline(plan)
+        if len(timeline) < 2:
+            return None
+        current = None
+        while len(timeline) >= 2:
+            mid = len(timeline) // 2
+            for half in (timeline[:mid], timeline[mid:]):
+                candidate = self._rebuild(plan, half)
+                if self._fails(candidate):
+                    timeline = half
+                    current = candidate
+                    break
+            else:
+                break       # neither half reproduces: escalate
+        return current
+
+    def _drop_ops(self, plan: FuzzPlan) -> Optional[FuzzPlan]:
+        ops = self._ddmin(plan.ops,
+                          lambda items: plan.replace(ops=list(items)))
+        return None if ops is None else plan.replace(ops=ops)
+
+    def _drop_faults(self, plan: FuzzPlan) -> Optional[FuzzPlan]:
+        faults = self._ddmin(
+            plan.faults, lambda items: plan.replace(faults=list(items)))
+        return None if faults is None else plan.replace(faults=faults)
+
+    def _ddmin(self, items: list, rebuild) -> Optional[list]:
+        """Remove chunks (halving down to singles); None if irreducible."""
+        if not items:
+            return None
+        best = list(items)
+        chunk = max(1, len(best) // 2)
+        reduced = False
+        while True:
+            removed_any = False
+            i = 0
+            while i < len(best):
+                candidate = best[:i] + best[i + chunk:]
+                if self._fails(rebuild(candidate)):
+                    best = candidate
+                    removed_any = reduced = True
+                else:
+                    i += chunk
+            if chunk == 1:
+                if not removed_any:
+                    break
+            else:
+                chunk = max(1, chunk // 2)
+        return best if reduced else None
+
+    def _simplify(self, plan: FuzzPlan) -> Optional[FuzzPlan]:
+        """Conservative last resort: compress the schedule's vtime span
+        and shrink the initial tree."""
+        current, reduced = plan, False
+        for transform in (self._scale_times(0.5), self._scale_times(0.25),
+                          self._smaller_tree):
+            candidate = transform(current)
+            if candidate is None:
+                continue
+            if self._fails(candidate):
+                current, reduced = candidate, True
+        return current if reduced else None
+
+    @staticmethod
+    def _scale_times(factor: float):
+        def transform(plan: FuzzPlan) -> Optional[FuzzPlan]:
+            if plan.span() <= 0:
+                return None
+            clone = plan.replace()
+            for op in clone.ops:
+                op.at = round(op.at * factor, 1)
+            for ev in clone.faults:
+                if ev.at is not None:
+                    ev.at = round(ev.at * factor, 1)
+                if ev.duration is not None:
+                    ev.duration = max(1.0, round(ev.duration * factor, 1))
+            return clone
+        return transform
+
+    @staticmethod
+    def _smaller_tree(plan: FuzzPlan) -> Optional[FuzzPlan]:
+        if plan.tree_dirs <= 1 and plan.tree_files <= 1 \
+                and plan.file_size <= 64:
+            return None
+        return plan.replace(tree_dirs=max(1, plan.tree_dirs // 2),
+                            tree_files=max(1, plan.tree_files // 2),
+                            file_size=max(64, plan.file_size // 2))
+
+
+def shrink_plan(plan: FuzzPlan, fails: Predicate,
+                max_attempts: int = 800) -> ShrinkOutcome:
+    """Convenience wrapper: minimize ``plan`` under ``fails``."""
+    return Shrinker(fails, max_attempts=max_attempts).shrink(plan)
+
+
+def shrink_failing_result(result, oracle=None, max_attempts: int = 200,
+                          pin_kinds=None) -> ShrinkOutcome:
+    """Minimize the plan behind a failing :class:`FuzzResult`, re-running
+    the full cluster for every candidate (the expensive, real-world
+    path; tests use :func:`shrink_plan` with synthetic predicates).
+
+    The predicate is *kind-pinned*: a candidate only counts as failing
+    if it reproduces one of the original violation kinds (or
+    ``pin_kinds``, when given).  Without pinning a shrink can slide onto
+    a different, easier-to-trigger bug and the committed regression
+    would no longer guard the one it was minimizing."""
+    from repro.fuzz.runner import run_plan
+
+    if pin_kinds is None:
+        pin_kinds = {v.kind for v in result.violations}
+    pin_kinds = frozenset(pin_kinds)
+
+    def fails(candidate: FuzzPlan) -> bool:
+        res = run_plan(candidate, oracle=oracle)
+        return any(v.kind in pin_kinds for v in res.violations)
+
+    return shrink_plan(result.plan, fails, max_attempts=max_attempts)

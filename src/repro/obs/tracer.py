@@ -143,6 +143,15 @@ class Tracer:
         return [s for s in self.spans
                 if s.parent_id is None and s.name.startswith(name_prefix)]
 
+    def open_spans(self, site: Optional[int] = None,
+                   kind: Optional[str] = None) -> List[Span]:
+        """Spans begun but never finished.  At quiescence on a healthy
+        site these are stuck work — the fuzz oracle's liveness signal
+        (spans on a site that crashed die legitimately unfinished)."""
+        return [s for s in self.spans if s.end is None
+                and (site is None or s.site == site)
+                and (kind is None or s.kind == kind)]
+
 
 def traced_syscall(name: str, fn):
     """Wrap a ProcApi generator method with a syscall span + latency sample.

@@ -46,6 +46,12 @@ class TopologyService:
         self._merge_task = None
         self._partition_task = None
         self._partition_requested = False
+        # A virtual circuit closed since the last reconciliation: some
+        # message — possibly a commit notification — was lost.  The next
+        # merge must run filegroup recovery even if the membership tables
+        # never changed (transient loss repairs itself before the
+        # partition becomes official, but the dropped update does not).
+        self._lossy = False
         self.stats = {"partition_runs": 0, "merge_runs": 0,
                       "announces_received": 0}
         reg = site.register_handler
@@ -86,6 +92,7 @@ class TopologyService:
 
     def on_circuit_closed(self, peer: int, reason: str) -> None:
         """A virtual circuit failed: the peer must leave the partition."""
+        self._lossy = True
         if peer not in self.partition_set:
             return
         # React immediately and locally (conservative single-site removal),
@@ -239,7 +246,17 @@ class TopologyService:
         if self.actsite != self.sid:
             return None  # we ceded to a lower-numbered initiator
         members = {self.sid} | set(replies)
+        lossy = self._lossy or any(r.get("lossy")
+                                   for r in replies.values())
         if members == self.partition_set:
+            # Membership is unchanged, but circuits closed since the last
+            # reconciliation: a lost message may have dropped a commit
+            # notification on the floor, leaving a replica silently
+            # stale.  Run recovery anyway — it is read-only when every
+            # copy already converged.
+            if lossy:
+                self._lossy = False
+                self._recovery_sweep()
             return None  # nothing changed
         max_epoch = max([self.epoch] + [r["epoch"]
                                         for r in replies.values()])
@@ -282,7 +299,11 @@ class TopologyService:
         else:
             self.actsite = fsite
         self._watch_active(fsite)
-        return {"partition": sorted(self.partition_set), "epoch": self.epoch}
+        # Report (and hand off) local circuit-loss state: the initiator
+        # takes responsibility for running recovery after it concludes.
+        lossy, self._lossy = self._lossy, False
+        return {"partition": sorted(self.partition_set),
+                "epoch": self.epoch, "lossy": lossy}
         yield  # pragma: no cover
 
     def h_merge_announce(self, src: int, p: dict) -> Generator:
@@ -304,9 +325,20 @@ class TopologyService:
     def _apply_membership(self, members: Set[int]) -> Generator:
         old = set(self.partition_set)
         if members == old:
+            # Note: a pending circuit-loss flag is NOT acted on here — a
+            # re-announce can arrive mid-disturbance, and a recovery sweep
+            # racing live traffic creates avoidable residue.  The flag
+            # survives until an explicit merge concludes at quiescence.
             return None
         lost = old - members
         gained = members - old
+        lossy = self._lossy
+        if gained:
+            # Sites joined: the merge-time recovery below accounts for any
+            # earlier loss.  On a pure shrink the flag is preserved — the
+            # lost message's peer is gone, and the sweep runs when it
+            # rejoins.
+            self._lossy = False
         self.partition_set = set(members)
         if lost:
             self.site.net.close_circuits_to(
@@ -315,13 +347,29 @@ class TopologyService:
         self._reelect_css(members)
         # "Finally, the recovery procedure described in section 4 is run for
         # each filegroup to which it is necessary" — at that filegroup's CSS,
-        # whenever sites joined (their packs may hold divergent copies).
+        # whenever sites joined (their packs may hold divergent copies); a
+        # pending circuit-loss flag widens the sweep to every local-CSS
+        # filegroup (a lost message may have dropped a commit notification
+        # for a filegroup whose packs did not change hands).
         if gained and self.site.recovery is not None:
             for gfs, info in self.site.fs.mount.groups.items():
                 if self.site.fs.mount.css_for(gfs) == self.sid and \
-                        set(info.pack_sites) & gained:
+                        (lossy or set(info.pack_sites) & gained):
                     self.site.recovery.schedule_filegroup(gfs)
         return None
+
+    def _recovery_sweep(self) -> None:
+        """Schedule filegroup recovery for every filegroup this site
+        synchronizes.  Used after a merge that followed circuit loss with
+        unchanged membership: the sweep is read-only when every copy
+        already converged, and re-seeds any replica whose commit
+        notification was lost."""
+        if self.site.recovery is None:
+            return
+        mount = self.site.fs.mount
+        for gfs in list(mount.groups):
+            if mount.css_for(gfs) == self.sid:
+                self.site.recovery.schedule_filegroup(gfs)
 
     def _reelect_css(self, members: Set[int]) -> None:
         """Select a synchronization site for each filegroup (section 5.6),

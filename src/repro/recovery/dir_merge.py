@@ -113,6 +113,15 @@ def merge_directories(
                 aliased.name = amap[entry.ino]
                 place(aliased, name)
                 continue
+            # A live entry whose file was tombstoned under this name in
+            # another copy (rename or remove, then the name re-used):
+            # interrogate the inode first.  If the delete stands, the
+            # entry folds in as a tombstone and never reaches the rule-1
+            # name-conflict aliasing below.
+            tomb = shadow_tombs.get(name, {}).get(entry.ino)
+            if tomb is not None and not entry.deleted:
+                entry = _resolve_pair(entry, _clone(tomb), file_version,
+                                      report)
             current = merged.get(name)
             if current is not None and current.ino != entry.ino \
                     and name not in (".", ".."):

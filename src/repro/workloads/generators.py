@@ -69,6 +69,50 @@ def read_write_mix(shell, paths: Sequence[str], ops: int,
     return counts
 
 
+# Default operation mix for randomized schedules: read-dominated with a
+# steady trickle of namespace churn (section 2.2.1's measured shape).
+DEFAULT_OP_MIX = (
+    ("read", 0.40), ("write", 0.28), ("stat", 0.06), ("readdir", 0.05),
+    ("mkdir", 0.04), ("rename", 0.07), ("unlink", 0.06), ("link", 0.04),
+)
+
+
+def op_mix_schedule(rng: random.Random, paths: Sequence[str], count: int,
+                    span: float, sites: Sequence[int] = (0,),
+                    mix: Sequence[Tuple[str, float]] = DEFAULT_OP_MIX,
+                    s: float = 1.2) -> List[dict]:
+    """Draw ``count`` timed operations: kinds from the weighted ``mix``,
+    targets Zipf-popular over ``paths``, issue times uniform over
+    ``[0, span]``, issuing site round-robin-random over ``sites``.
+
+    Returns plain dicts (``at``/``site``/``op``/``path``/``dest``) so
+    callers owning richer schedule types (e.g. ``repro.fuzz``) can lift
+    them without this module importing those types.  Rename/link targets
+    are fresh sibling names, so schedules stay valid whatever subset of
+    them a shrinker keeps.
+    """
+    kinds = [k for k, __ in mix]
+    weights = [w for __, w in mix]
+    path_weights = zipf_weights(len(paths), s=s)
+    out: List[dict] = []
+    for i in range(count):
+        op = rng.choices(kinds, weights=weights, k=1)[0]
+        path = rng.choices(list(paths), weights=path_weights, k=1)[0]
+        entry = {"at": round(rng.uniform(0.0, span), 1),
+                 "site": rng.choice(list(sites)), "op": op, "path": path}
+        parent = path.rsplit("/", 1)[0] or "/"
+        if op in ("rename", "link"):
+            entry["dest"] = f"{parent}/n{i}"
+        elif op == "mkdir":
+            entry["path"] = f"{parent}/m{i}"
+        elif op == "write":
+            entry["size"] = rng.choice((64, 256, 1024, 2048))
+            entry["tag"] = i
+        out.append(entry)
+    out.sort(key=lambda e: (e["at"], e["site"], e["op"], e["path"]))
+    return out
+
+
 def divergent_updates(cluster, left_shell, right_shell,
                       paths: Sequence[str], n_conflicts: int,
                       n_left_only: int,

@@ -1,0 +1,156 @@
+"""Property tests for the auto-shrinker (T19).
+
+Most tests drive :class:`repro.fuzz.shrink.Shrinker` with *synthetic*
+predicates — pure functions of the plan's structure — so minimality,
+determinism and strategy escalation are checked without spinning up a
+cluster for every candidate.  The final tests run the real pipeline
+end-to-end against :class:`SyntheticOracle` (the deliberately planted
+op/fault-conjunction bug) and pin the shrunk output byte-for-byte to the
+JSON committed under ``tests/data/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.faults.plan import FaultEvent
+from repro.fuzz.generate import generate_plan
+from repro.fuzz.oracle import SyntheticOracle
+from repro.fuzz.plan import FuzzPlan, WorkloadOp
+from repro.fuzz.runner import run_plan
+from repro.fuzz.shrink import Shrinker, shrink_failing_result, shrink_plan
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+
+def make_plan(n_ops=16, n_faults=4):
+    """A hand-built plan with exactly one rename op and one crash fault
+    buried in filler, so predicates have a known minimum to converge on."""
+    ops = [WorkloadOp(at=10.0 * i, site=0,
+                      op="write" if i % 2 else "read",
+                      path=f"/w/d0/f{i % 2}", size=64, tag=i)
+           for i in range(n_ops)]
+    ops[n_ops // 2] = WorkloadOp(at=10.0 * (n_ops // 2), site=0,
+                                 op="rename", path="/w/d0/f0",
+                                 dest="/w/d0/r0")
+    faults = [FaultEvent(kind="latency_spike", at=200.0 + 10.0 * i,
+                         delta=5.0, duration=5.0)
+              for i in range(n_faults)]
+    faults[n_faults // 2] = FaultEvent(kind="crash", at=220.0, site=1)
+    return FuzzPlan(seed=1, name="synthetic", ops=ops, faults=faults)
+
+
+def conjunction(plan):
+    """Fails iff the plan still contains a rename op AND a crash fault."""
+    return (any(op.op == "rename" for op in plan.ops)
+            and any(ev.kind == "crash" for ev in plan.faults))
+
+
+# -- minimality ------------------------------------------------------------
+
+def test_converges_to_known_minimum():
+    plan = make_plan()
+    outcome = shrink_plan(plan, conjunction)
+    assert outcome.plan.event_count() == 2
+    assert [op.op for op in outcome.plan.ops] == ["rename"]
+    assert [ev.kind for ev in outcome.plan.faults] == ["crash"]
+
+
+def test_shrunk_plan_still_fails_predicate():
+    outcome = shrink_plan(make_plan(), conjunction)
+    assert conjunction(outcome.plan)
+
+
+def test_shrunk_plan_is_renamed():
+    outcome = shrink_plan(make_plan(), conjunction)
+    assert outcome.plan.name == "synthetic-shrunk"
+
+
+# -- determinism -----------------------------------------------------------
+
+def test_shrink_is_deterministic():
+    """Same failing plan + same predicate ⇒ byte-identical minimal plan
+    and the exact same number of predicate runs."""
+    first = shrink_plan(make_plan(), conjunction)
+    second = shrink_plan(make_plan(), conjunction)
+    assert first.plan.to_json() == second.plan.to_json()
+    assert first.attempts == second.attempts
+
+
+def test_predicate_runs_are_memoized():
+    calls = []
+
+    def counting(plan):
+        calls.append(plan.to_json())
+        return conjunction(plan)
+
+    shrink_plan(make_plan(), counting)
+    assert len(calls) == len(set(calls)), "a candidate was re-run"
+
+
+# -- strategy escalation ---------------------------------------------------
+
+def test_escalates_when_halving_cannot_reproduce():
+    """A bug needing the first and last op of the timeline defeats
+    bisection (each half lacks one end), forcing escalation to ddmin."""
+    plan = make_plan()
+    first_tag, last_tag = plan.ops[0].tag, plan.ops[-1].tag
+
+    def needs_both_ends(candidate):
+        tags = {op.tag for op in candidate.ops}
+        return first_tag in tags and last_tag in tags
+
+    outcome = shrink_plan(plan, needs_both_ends)
+    assert "halves" in outcome.escalations
+    assert {op.tag for op in outcome.plan.ops} == {first_tag, last_tag}
+    assert outcome.plan.faults == []
+
+
+def test_simplify_shrinks_tree_and_times():
+    plan = make_plan()
+    plan.tree_dirs = plan.tree_files = 3
+    plan.file_size = 1024
+    outcome = shrink_plan(plan, conjunction)
+    assert outcome.plan.tree_dirs == 1
+    assert outcome.plan.tree_files == 1
+    assert outcome.plan.file_size == 64
+    assert outcome.plan.span() == 0.0
+
+
+# -- guard rails -----------------------------------------------------------
+
+def test_green_plan_raises():
+    with pytest.raises(ValueError):
+        shrink_plan(make_plan(), lambda plan: False)
+
+
+def test_budget_caps_predicate_runs():
+    shrinker = Shrinker(conjunction, max_attempts=5)
+    outcome = shrinker.shrink(make_plan())
+    assert outcome.attempts <= 5
+    assert conjunction(outcome.plan)   # never hands back a green plan
+
+
+# -- end-to-end demo: the planted SyntheticOracle bug ----------------------
+
+def test_synthetic_demo_shrinks_to_committed_plan():
+    """The acceptance demo: a planted op/fault-conjunction bug found from
+    a random seed shrinks to <= 10 events, byte-identical to the JSON
+    committed under tests/data/."""
+    result = run_plan(generate_plan(100, n_ops=10, n_faults=4, span=400.0),
+                      oracle=SyntheticOracle())
+    assert not result.ok
+    assert {v.kind for v in result.violations} == {"synthetic:conjunction"}
+
+    outcome = shrink_failing_result(result, oracle=SyntheticOracle(),
+                                    max_attempts=80)
+    assert outcome.plan.event_count() <= 10
+    committed = (DATA / "synthetic-conjunction-shrunk.json").read_text()
+    assert outcome.plan.to_json() == committed
+
+
+def test_committed_synthetic_plan_reproduces():
+    plan = FuzzPlan.from_json(
+        (DATA / "synthetic-conjunction-shrunk.json").read_text())
+    result = run_plan(plan, oracle=SyntheticOracle())
+    assert {v.kind for v in result.violations} == {"synthetic:conjunction"}

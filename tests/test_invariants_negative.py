@@ -1,0 +1,138 @@
+"""Negative-path coverage for the invariant audit (T19 satellite).
+
+The fuzz oracle is only as good as its checkers, so each checker is fed a
+*hand-forged* corrupt store — a healthy settled cluster whose packs are
+then mutilated directly — and must flag exactly the planted corruption.
+A green run on a corrupt store would mean the fuzzer's verdicts are
+vacuous.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.invariants import InvariantChecker
+from repro.fuzz.oracle import FuzzOracle, SyntheticOracle
+from repro.fuzz.plan import FuzzPlan
+from repro.fuzz.runner import PlanRunner
+from repro.storage.inode import DiskInode, FileType
+
+
+@pytest.fixture
+def run():
+    """A settled 3-site cluster (3 data copies, one regular file under
+    /w/d0/f0) with a clean audit — the canvas the tests corrupt."""
+    plan = FuzzPlan(seed=5, name="forge", n_sites=3, copies=3,
+                    tree_dirs=1, tree_files=1, file_size=64)
+    fuzz_run = PlanRunner(plan).run()
+    assert InvariantChecker(fuzz_run.cluster, plan).check() == []
+    return fuzz_run
+
+
+def kinds(run):
+    return sorted({v.kind for v in
+                   InvariantChecker(run.cluster, run.plan).check()})
+
+
+def data_packs(cluster):
+    """{site_id: pack} plus the (gfs, ino) of the one regular file."""
+    mount = cluster.sites[0].fs.mount
+    for gfs in sorted(mount.groups):
+        packs = {site_id: cluster.site(site_id).packs[gfs]
+                 for site_id in mount.pack_sites(gfs)
+                 if gfs in cluster.site(site_id).packs}
+        for ino, inode in sorted(packs[min(packs)].inodes.items()):
+            if inode.ftype == FileType.REGULAR and not inode.deleted:
+                return packs, gfs, ino
+    raise AssertionError("no regular file found")
+
+
+# -- replica divergence ----------------------------------------------------
+
+def test_stale_copy_is_replica_divergence(run):
+    """A dominated (stale, non-conflicting) copy after settle means
+    propagation silently failed — stricter than fsck's conflict check."""
+    packs, gfs, ino = data_packs(run.cluster)
+    inode = packs[0].inodes[ino]
+    inode.version = inode.version.bump(0)
+    found = kinds(run)
+    assert "replica_divergence" in found
+    assert "fsck:unflagged_conflicts" not in found   # dominated, not torn
+
+
+def test_concurrent_versions_are_unflagged_conflict(run):
+    """Two copies bumped by different sites are *incomparable*: fsck must
+    flag the missed conflict and the divergence check fires too."""
+    packs, gfs, ino = data_packs(run.cluster)
+    packs[0].inodes[ino].version = packs[0].inodes[ino].version.bump(0)
+    packs[1].inodes[ino].version = packs[1].inodes[ino].version.bump(1)
+    found = kinds(run)
+    assert "fsck:unflagged_conflicts" in found
+    assert "replica_divergence" in found
+
+
+def test_conflict_flag_suppresses_divergence(run):
+    """A divergent copy already *flagged* conflicted is a known, reported
+    conflict — not a silent divergence."""
+    packs, gfs, ino = data_packs(run.cluster)
+    inode = packs[0].inodes[ino]
+    inode.version = inode.version.bump(0)
+    inode.conflict = True
+    assert "replica_divergence" not in kinds(run)
+
+
+# -- fsck categories -------------------------------------------------------
+
+def test_forged_nlink_mismatch(run):
+    packs, gfs, ino = data_packs(run.cluster)
+    for pack in packs.values():
+        pack.inodes[ino].nlink = 5
+    assert "fsck:nlink_errors" in kinds(run)
+
+
+def test_forged_dangling_entry(run):
+    """Deleting a file's descriptor from every pack leaves its directory
+    entry pointing at nothing."""
+    packs, gfs, ino = data_packs(run.cluster)
+    for pack in packs.values():
+        del pack.inodes[ino]
+    assert "fsck:dangling_entries" in kinds(run)
+
+
+def test_forged_orphan_reported_but_not_audited_by_default(run):
+    """An inode no directory references: the checker reports it, but the
+    default oracle audit excludes it (transient orphans are normal in
+    crash windows; fsck_repair scrubs them)."""
+    packs, gfs, ino = data_packs(run.cluster)
+    orphan_ino = max(max(p.inodes) for p in packs.values()) + 1
+    for pack in packs.values():
+        pack.inodes[orphan_ino] = DiskInode(
+            ino=orphan_ino, ftype=FileType.REGULAR, size=0,
+            storage_sites=sorted(packs))
+    assert "fsck:orphan_inodes" in kinds(run)
+    judged = {v.kind for v in FuzzOracle().judge(run).violations}
+    assert "fsck:orphan_inodes" not in judged
+
+
+# -- byte convergence (oracle-only check) ----------------------------------
+
+def test_forged_data_divergence_behind_equal_versions(run):
+    """Equal version vectors but different bytes: invisible to vv
+    comparison, caught only by the oracle's byte-convergence check."""
+    packs, gfs, ino = data_packs(run.cluster)
+    inode = packs[0].inodes[ino]
+    blockno = inode.pages[0]
+    original = packs[0].blocks[blockno]
+    packs[0].blocks[blockno] = bytes(b ^ 0xFF for b in original)
+    assert "replica_divergence" not in kinds(run)   # vvs still equal
+    judged = {v.kind for v in FuzzOracle().judge(run).violations}
+    assert "data_divergence" in judged
+
+
+# -- synthetic oracle ------------------------------------------------------
+
+def test_synthetic_oracle_needs_the_conjunction(run):
+    """No successful rename and no crash fired: the planted bug stays
+    dormant on this quiet run."""
+    result = SyntheticOracle().judge(run)
+    assert result.ok

@@ -4,7 +4,7 @@ and the directory codec."""
 import pytest
 
 from repro import LocusCluster, Mode
-from repro.errors import EBADF, EPIPE
+from repro.errors import EBADF, EEXIST, EPIPE
 from repro.fs.directory import (DirEntry, DirView, decode_entries,
                                 encode_entries)
 from repro.storage.inode import FileType
@@ -125,12 +125,28 @@ class TestDirectoryCodec:
         data = encode_entries([DirEntry("x", 2, FileType.REGULAR)])
         assert decode_entries(data + b"\x00" * 50) == decode_entries(data)
 
-    def test_view_resurrect_over_tombstone(self):
+    def test_view_resurrect_same_file_replaces_tombstone(self):
+        view = DirView([DirEntry("n", 3, FileType.REGULAR, deleted=True,
+                                 dvv=VersionVector())])
+        view.insert("n", 3, FileType.REGULAR)
+        assert view.lookup("n").ino == 3
+        assert len(view.entries) == 1
+
+    def test_view_insert_keeps_foreign_tombstone(self):
+        # A different file taking over the name must NOT destroy the old
+        # file's tombstone: it is the only record telling a partition
+        # merge the old binding was removed (section 4.4 rules (b)/(d)).
         view = DirView([DirEntry("n", 3, FileType.REGULAR, deleted=True,
                                  dvv=VersionVector())])
         view.insert("n", 9, FileType.REGULAR)
         assert view.lookup("n").ino == 9
-        assert len(view.entries) == 1
+        assert len(view.entries) == 2
+        tombs = [e for e in view.entries if e.deleted]
+        assert [t.ino for t in tombs] == [3]
+        # The live entry is what readdir and a second insert see.
+        assert view.names() == ["n"]
+        with pytest.raises(EEXIST):
+            view.insert("n", 11, FileType.REGULAR)
 
     def test_names_sorted_and_dotless(self):
         view = DirView([

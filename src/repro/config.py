@@ -105,6 +105,21 @@ class CostModel:
     rpc_timeout: float = 400.0      # per-op backstop for idempotent RPCs
     rpc_retries: int = 3            # bounded retry / failover attempts
     rpc_backoff: float = 8.0        # base of the exponential retry backoff
+    # Exactly-once mutating syscalls (ISSUE 8).  With the flag on, every
+    # mutating RPC (commit, create, css_open/close) carries a
+    # ``(client_id, op_seq)`` stamp and the CSS and SS keep a bounded
+    # per-client idempotency ledger: a retried or failed-over request whose
+    # first attempt already applied replays the recorded reply instead of
+    # re-executing.  That makes the non-idempotent write path safe to retry
+    # under supervision, lets open-for-write re-home to a surviving replica
+    # mid-storm (staged shadow pages are re-staged at the new SS), and
+    # retires the merge conflict window: the CSS refuses writer opens with
+    # EWOULDCONFLICT while a file is queued for reconciliation.  Stamps
+    # ride the header slots excluded from the wire-size model, and on
+    # fault-free runs no retry, replay, or refusal ever fires, so flag-off
+    # post-state is byte-identical.
+    exactly_once_writes: bool = True
+    ledger_window: int = 16         # memoized replies retained per client
     # Adaptive flush sizing for batch_writes: staged dirty pages also flush
     # when they have been sitting for this much virtual time, so a slow
     # writer's pages are not hostage to the next ordering point (0 = only

@@ -14,8 +14,8 @@ import itertools
 from typing import Any, Callable, Dict, Generator, Optional, Set, Tuple
 
 from repro.config import ClusterConfig, CostModel
-from repro.errors import (CircuitClosed, NetworkError, SiteDown, SimTimeout,
-                          TaskCancelled, Unreachable)
+from repro.errors import (CircuitClosed, EWOULDCONFLICT, NetworkError,
+                          SiteDown, SimTimeout, TaskCancelled, Unreachable)
 from repro.net.message import Message, MsgKind
 from repro.net.network import Network
 from repro.obs.registry import MetricsRegistry
@@ -83,6 +83,15 @@ class Site:
         self._serve_names: Dict[str, str] = {}
         self._task_name = f"site{site_id}"
         self._tasks: Set[Task] = set()
+        # Exactly-once stamping (ISSUE 8): a monotonically increasing
+        # mutating-op sequence — never reset, even across crashes, so a
+        # restarted client cannot collide with its own pre-crash entries
+        # in a server's durable ledger — plus the set of seqs still
+        # outstanding, from which the contiguous-completion ack floor
+        # piggybacked on every stamped request is derived.
+        self._op_seqs = itertools.count(0)
+        self._stamp_live: Set[int] = set()
+        self._stamp_last = -1
         # Subsystems are attached by the cluster builder.
         self.fs = None          # repro.fs.manager.FsManager
         self.proc = None        # repro.proc.manager.ProcManager
@@ -109,6 +118,28 @@ class Site:
         if op in self._handlers:
             raise ValueError(f"handler {op!r} already registered")
         self._handlers[op] = fn
+
+    # ------------------------------------------------------------------
+    # Exactly-once stamps
+    # ------------------------------------------------------------------
+
+    def next_stamp(self) -> Tuple[int, int]:
+        """Issue a fresh ``(client_id, op_seq)`` stamp for a mutating op."""
+        seq = next(self._op_seqs)
+        self._stamp_live.add(seq)
+        self._stamp_last = seq
+        return (self.site_id, seq)
+
+    def stamp_done(self, seq: int) -> None:
+        """The stamped op finished (or was abandoned): it will never be
+        retried again, so servers may retire its ledger entry once the
+        ack floor passes it."""
+        self._stamp_live.discard(seq)
+
+    def stamp_ack(self) -> int:
+        """Highest seq below which every stamped op has completed."""
+        live = self._stamp_live
+        return (min(live) - 1) if live else self._stamp_last
 
     # ------------------------------------------------------------------
     # RPC
@@ -180,60 +211,99 @@ class Site:
                        idempotent: bool = True,
                        timeout: Optional[float] = None,
                        retries: Optional[int] = None,
-                       backoff: Optional[float] = None) -> Generator:
+                       backoff: Optional[float] = None,
+                       once: bool = False) -> Generator:
         """Supervised remote call: a per-op timeout plus bounded
         deterministic exponential backoff for idempotent operations.
 
         ``dst`` may be a callable re-evaluated before every attempt so a
         retry chases responsibility that moved during the failure (e.g. a
         CSS re-elected while this call was failing).  Non-idempotent calls
-        get the timeout backstop but never blind-retry.  With
-        ``cost.supervise_remote_ops`` off this degenerates to plain
+        get the timeout backstop but never blind-retry — unless ``once``
+        marks them for exactly-once delivery, in which case the payload is
+        stamped with ``(client_id, op_seq)`` and retried like an idempotent
+        call: the server's idempotency ledger turns the duplicate into a
+        replay of the recorded reply, so at-least-once delivery plus
+        server-side dedup yields exactly-once execution.  A caller that
+        pre-stamped the payload (write-path failover re-homing a commit)
+        keeps its own stamp and its own completion bookkeeping.
+
+        ``EWOULDCONFLICT`` — the CSS refusing a writer open while the file
+        is queued for reconciliation — is always retryable (the refusal
+        precedes any state change) and gets a larger attempt budget so a
+        writer can wait out a post-heal merge sweep.
+
+        With ``cost.supervise_remote_ops`` off this degenerates to plain
         :meth:`rpc` — the paper's unsupervised behaviour.
         """
         resolve = dst if callable(dst) else (lambda: dst)
         cost = self.cost
-        if not cost.supervise_remote_ops:
-            result = yield from self.rpc(resolve(), op, payload)
-            return result
-        if timeout is None:
-            timeout = cost.rpc_timeout or None
-        if retries is None:
-            retries = cost.rpc_retries
-        if backoff is None:
-            backoff = cost.rpc_backoff
-        tracer = self.tracer
-        span = prev = None
-        if tracer is not None and tracer.enabled:
-            span, prev = tracer.begin(f"srpc:{op}", "rpc", self.site_id)
-        status_label = "ok"
+        payload = payload if payload is not None else {}
+        own_stamp = (once and cost.exactly_once_writes
+                     and cost.supervise_remote_ops
+                     and "_stamp" not in payload)
+        if own_stamp:
+            payload["_stamp"] = self.next_stamp()
         try:
-            attempt = 0
-            while True:
-                try:
-                    result = yield from self.rpc(resolve(), op, payload,
-                                                 timeout=timeout)
-                    return result
-                except NetworkError as exc:
-                    if not idempotent or attempt >= retries or not self.up:
-                        raise
-                    self.metrics.count("rpc.retries")
-                    if span is not None:
-                        tracer.event(span, "retry",
-                                     {"attempt": attempt,
-                                      "error": type(exc).__name__,
-                                      "backoff": backoff * (2 ** attempt)})
-                    # Deterministic exponential backoff: gives the partition
-                    # protocol time to converge before the retry resolves
-                    # dst.
-                    yield backoff * (2 ** attempt)
-                    attempt += 1
-        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
-            status_label = type(exc).__name__
-            raise
+            if not cost.supervise_remote_ops:
+                result = yield from self.rpc(resolve(), op, payload)
+                return result
+            if timeout is None:
+                timeout = cost.rpc_timeout or None
+            if retries is None:
+                retries = cost.rpc_retries
+            if backoff is None:
+                backoff = cost.rpc_backoff
+            can_retry = idempotent or "_stamp" in payload
+            tracer = self.tracer
+            span = prev = None
+            if tracer is not None and tracer.enabled:
+                span, prev = tracer.begin(f"srpc:{op}", "rpc", self.site_id)
+            status_label = "ok"
+            try:
+                attempt = 0
+                conflict_waits = 0
+                while True:
+                    if "_stamp" in payload:
+                        payload["_ack"] = self.stamp_ack()
+                    try:
+                        result = yield from self.rpc(resolve(), op, payload,
+                                                     timeout=timeout)
+                        return result
+                    except NetworkError as exc:
+                        if not can_retry or attempt >= retries or not self.up:
+                            raise
+                        self.metrics.count("rpc.retries")
+                        if span is not None:
+                            tracer.event(span, "retry",
+                                         {"attempt": attempt,
+                                          "error": type(exc).__name__,
+                                          "backoff": backoff * (2 ** attempt)})
+                        # Deterministic exponential backoff: gives the
+                        # partition protocol time to converge before the
+                        # retry resolves dst.
+                        yield backoff * (2 ** attempt)
+                        attempt += 1
+                    except EWOULDCONFLICT:
+                        # Conflict-window refusal: wait for the merge the
+                        # CSS has scheduled, on its own (longer) budget so
+                        # network retries stay bounded independently.
+                        if conflict_waits >= max(2 * retries, 8) or not self.up:
+                            raise
+                        self.metrics.count("rpc.conflict_retries")
+                        yield backoff * (2 ** min(conflict_waits, 4))
+                        conflict_waits += 1
+            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+                status_label = type(exc).__name__
+                raise
+            finally:
+                if span is not None:
+                    tracer.finish(span, prev, status=status_label)
         finally:
-            if span is not None:
-                tracer.finish(span, prev, status=status_label)
+            if own_stamp:
+                # Success or final failure, this client will never re-send
+                # this seq: let the servers' ledgers retire it.
+                self.stamp_done(payload["_stamp"][1])
 
     def oneway(self, dst: int, op: str,
                payload: Optional[dict] = None) -> Generator:
@@ -280,6 +350,13 @@ class Site:
             fut = self._pending.pop((msg.src, msg.reqid), None)
             if fut is not None:
                 fut.resolve(msg.payload)
+            else:
+                # Duplicate delivery: a reply to an attempt whose supervisor
+                # already timed out and moved on.  Each attempt carries a
+                # unique reqid (the attempt tag), so a late reply can never
+                # resolve a newer attempt's future — it is counted and
+                # discarded here.
+                self.metrics.count("rpc.late_replies_discarded")
             return
         name = self._serve_names.get(msg.mtype)
         if name is None:
@@ -369,6 +446,11 @@ class Site:
         for fut in self._pending.values():
             fut.fail(SiteDown(self.site_id))
         self._pending.clear()
+        # In-flight stamped ops died with their tasks and will never be
+        # retried; advancing the ack floor past them lets server ledgers
+        # retire their entries.  The seq counter itself is NOT reset, so
+        # post-restart stamps cannot collide with pre-crash ones.
+        self._stamp_live.clear()
         self.cache.clear()
         self.net.fail_site(self.site_id)
         for subsystem in (self.fs, self.proc, self.tx, self.recovery,

@@ -149,6 +149,19 @@ class ECONFLICT(FsError):
     errno = "ECONFLICT"
 
 
+class EWOULDCONFLICT(FsError):
+    """Writer open refused while the file is queued for reconciliation.
+
+    With exactly-once writes on, the CSS closes the merge conflict window
+    by refusing to hand out a write token for a file whose copies still
+    await reconciliation after a partition heal; the open is retried under
+    supervision until the (concurrently scheduled) merge completes.  The
+    refusal happens before any state changes, so it is always retryable.
+    """
+
+    errno = "EWOULDCONFLICT"
+
+
 class EXDEV(FsError):
     errno = "EXDEV"
 

@@ -49,6 +49,7 @@ class InvariantChecker:
         out: List[Violation] = []
         out.extend(self._fsck_violations())
         out.extend(self._replica_divergence())
+        out.extend(self._ledger_audit())
         return out
 
     def _fsck_violations(self) -> List[Violation]:
@@ -60,6 +61,37 @@ class InvariantChecker:
                          "nlink_errors"):
             for item in getattr(report, category):
                 out.append(self._make(f"fsck:{category}", repr(item)))
+        return out
+
+    def _ledger_audit(self) -> List[Violation]:
+        """Exactly-once audit over every pack's durable ledger.
+
+        Two directions: no stamped op executed more than once against the
+        same pack (the ledger's whole point), and no memoized reply exists
+        for an op that never executed here (a forged or misplaced entry
+        would silently swallow a real mutation).  The same stamp *may*
+        legitimately execute at two different packs — a write-path failover
+        re-homes an ambiguous commit, and the version-vector floor makes
+        the survivor dominate — so the audit is strictly per-pack.
+        """
+        out: List[Violation] = []
+        for site in self.cluster.sites:
+            for gfs, pack in sorted(site.packs.items()):
+                for key, count in sorted(pack.applied_ops.items()):
+                    if count > 1:
+                        out.append(self._make(
+                            "ledger:double_apply",
+                            f"site={site.site_id} gfs={gfs} stamp={key} "
+                            f"applied {count} times"))
+                if pack.ledger is None:
+                    continue
+                for client, seq in sorted(pack.ledger.entries()):
+                    if (client, seq) not in pack.applied_ops:
+                        out.append(self._make(
+                            "ledger:entry_without_apply",
+                            f"site={site.site_id} gfs={gfs} "
+                            f"stamp=({client}, {seq}) memoized but never "
+                            f"applied"))
         return out
 
     def _replica_divergence(self) -> List[Violation]:

@@ -49,6 +49,14 @@ class UsHandle:
     # In-progress failover (replica substitution): concurrent substitutions
     # for the same handle wait here instead of double-registering.
     failover_busy: Optional[object] = None
+    # Exactly-once write failover: the open's uncommitted operations,
+    # retained beyond the flush so they can be replayed at a surviving
+    # replica if the SS dies mid-open — every page image put since the
+    # last commit, whether a truncate was staged, and the accumulated
+    # attribute patches.  Cleared on commit and abort.
+    staged_pages: Dict[int, bytes] = field(default_factory=dict)
+    staged_truncate: bool = False
+    staged_attrs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def size(self) -> int:

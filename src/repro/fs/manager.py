@@ -34,8 +34,10 @@ import itertools
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.errors import (EBADF, EBUSY, ECONFLICT, EINVAL, EIO, ENOENT,
-                          ESTALE, FsError, NetworkError, SiteDown)
+                          ESTALE, EWOULDCONFLICT, FsError, NetworkError,
+                          SiteDown)
 from repro.fs.handles import CssEntry, SsOpen, UsHandle
+from repro.fs.ledger import IdempotencyLedger
 from repro.fs.mount import MountTable
 from repro.fs.namespace import NamespaceMixin
 from repro.fs.path import PathMixin
@@ -64,8 +66,20 @@ class FsManager(PathMixin, NamespaceMixin):
         # current (section 2.3.1: the CSS "must have knowledge of ... what
         # the most current version of the file is").
         self.known_latest: Dict[Gfile, VersionVector] = {}
+        # Topology epoch (bumped by reconfiguration cleanup) and the epoch
+        # at which each gfile's peer versions were last probed: a CSS
+        # (re-)elected after a membership change may only know a stale
+        # local copy, so the first write open per epoch asks the other
+        # pack sites what they committed before granting the token.
+        self.topology_epoch = 0
+        self._vv_probe_epoch: Dict[Gfile, int] = {}
         self._hids = itertools.count(1)
         self._delete_acks: Dict[Gfile, Set[int]] = {}
+        # Volatile idempotency ledger for open/close bookkeeping RPCs: the
+        # state those ops touch (CSS entries, SS open records) dies with
+        # the site anyway, so durability would buy nothing.  Commit and
+        # create replies live on the pack's durable ledger instead.
+        self.op_ledger = IdempotencyLedger(self.cost.ledger_window)
         self.propagator = Propagator(self)
         self._register_handlers()
         self._register_metric_sources()
@@ -140,6 +154,13 @@ class FsManager(PathMixin, NamespaceMixin):
             fut.fail(SiteDown(self.sid))
         self._inflight.clear()
         self._delete_acks.clear()
+        self._vv_probe_epoch.clear()
+        self.op_ledger = IdempotencyLedger(self.cost.ledger_window)
+        for pack in self.site.packs.values():
+            if pack.ledger is not None:
+                # Memoized replies are disk state and survive; in-flight
+                # execution markers died with their handler tasks.
+                pack.ledger.reset_running()
         self.propagator.reset()
 
     def on_restart(self) -> None:
@@ -176,11 +197,61 @@ class FsManager(PathMixin, NamespaceMixin):
         return (size + psz - 1) // psz
 
     # ------------------------------------------------------------------
+    # Exactly-once execution (idempotency ledger)
+    # ------------------------------------------------------------------
+
+    def _pack_ledger(self, gfs: int) -> Optional[IdempotencyLedger]:
+        """The durable ledger of the local pack (created lazily)."""
+        pack = self.local_pack(gfs)
+        if pack is None:
+            return None
+        if pack.ledger is None:
+            pack.ledger = IdempotencyLedger(self.cost.ledger_window)
+        return pack.ledger
+
+    def _exactly_once(self, p: dict, ledger: Optional[IdempotencyLedger],
+                      run) -> Generator:
+        """Run a mutating handler body at most once per ``(client, seq)``.
+
+        A duplicate of a completed execution replays the memoized reply; a
+        duplicate of an execution still in flight waits for it to settle
+        and re-checks (replays on success, re-executes after a failure —
+        the stamped operations either apply fully or not at all, so
+        re-running a failed one is safe).  Unstamped requests, and sites
+        without a ledger for the filegroup, run the body directly.
+        """
+        stamp = p.get("_stamp") if self.cost.exactly_once_writes else None
+        if stamp is None or ledger is None:
+            result = yield from run()
+            return result
+        client, seq = stamp
+        ledger.ack(client, p.get("_ack", -1))
+        while True:
+            state, val = ledger.begin(client, seq)
+            if state == "done":
+                self.site.metrics.count("fs.ledger_replays")
+                return val
+            if state == "new":
+                break
+            yield val           # in flight: wait, then re-check
+        fut = self.site.sim.create_future(f"ledger:{client}:{seq}")
+        ledger.set_running(client, seq, fut)
+        try:
+            result = yield from run()
+        except BaseException:
+            ledger.abort(client, seq)
+            raise
+        ledger.commit(client, seq, result)
+        return result
+
+    # ------------------------------------------------------------------
     # US: open
     # ------------------------------------------------------------------
 
     def open_gfile(self, gfile: Gfile, mode: Mode,
-                   allow_conflict: bool = False) -> Generator:
+                   allow_conflict: bool = False,
+                   reopen: bool = False,
+                   known_vv: Optional[VersionVector] = None) -> Generator:
         """Open by low-level name; returns a :class:`UsHandle`.
 
         Unsynchronized reads of locally stored, propagation-clean files are
@@ -197,7 +268,8 @@ class FsManager(PathMixin, NamespaceMixin):
         status_label = "ok"
         start = self.site.sim.now
         try:
-            handle = yield from self._open_gfile(gfile, mode, allow_conflict)
+            handle = yield from self._open_gfile(gfile, mode, allow_conflict,
+                                                 reopen, known_vv)
             if span is not None:
                 tracer.annotate(span, "ss", handle.ss_site)
             return handle
@@ -212,7 +284,9 @@ class FsManager(PathMixin, NamespaceMixin):
                 tracer.finish(span, prev, status=status_label)
 
     def _open_gfile(self, gfile: Gfile, mode: Mode,
-                    allow_conflict: bool = False) -> Generator:
+                    allow_conflict: bool = False,
+                    reopen: bool = False,
+                    known_vv: Optional[VersionVector] = None) -> Generator:
         if mode.synchronized:
             yield from self.site.cpu(self.cost.cpu_syscall)
         else:
@@ -234,13 +308,29 @@ class FsManager(PathMixin, NamespaceMixin):
             us_vv = self.local_inode(gfile).version.copy()
         # Supervised: the dst callable re-resolves the CSS before every
         # attempt, so a retry after a CSS crash chases the re-elected one.
+        # Stamped (exactly-once): css_open mutates CSS bookkeeping, so a
+        # retried request must replay the recorded grant, not register a
+        # second open.
+        payload = {
+            "gfile": gfile,
+            "mode": mode,
+            "us_vv": us_vv,
+            "allow_conflict": allow_conflict,
+        }
+        if reopen:
+            # Write-path failover: let the CSS re-home our own write token
+            # instead of refusing it as a second writer.
+            payload["reopen"] = True
+        if known_vv is not None:
+            # The caller (a re-homing writer) has seen this committed
+            # version; a freshly re-elected CSS whose own copy is older
+            # must not grant a stale replica — it merges this floor into
+            # its latest-version knowledge before selecting a storage
+            # site.
+            payload["known_vv"] = known_vv.copy()
         resp = yield from self.site.supervised_rpc(
-            lambda: self.mount.css_for(gfile[0]), "fs.css_open", {
-                "gfile": gfile,
-                "mode": mode,
-                "us_vv": us_vv,
-                "allow_conflict": allow_conflict,
-            })
+            lambda: self.mount.css_for(gfile[0]), "fs.css_open", payload,
+            once=True)
         ss_site, attrs = resp["ss"], resp["attrs"]
         if ss_site == self.sid:
             # CSS selected this site as SS; set up the storage-site state
@@ -268,22 +358,65 @@ class FsManager(PathMixin, NamespaceMixin):
     # ------------------------------------------------------------------
 
     def h_css_open(self, src: int, p: dict) -> Generator:
+        result = yield from self._exactly_once(
+            p, self.op_ledger, lambda: self._css_open_body(src, p))
+        return result
+
+    def _css_open_body(self, src: int, p: dict) -> Generator:
         gfile: Gfile = p["gfile"]
         mode: Mode = p["mode"]
         us_vv: Optional[VersionVector] = p.get("us_vv")
+        # Write-path failover: the US re-homing its own open-for-write may
+        # reclaim the write token it already holds.
+        prior = self.css_entries.get(gfile)
+        reclaiming = (bool(p.get("reopen")) and mode.writable
+                      and prior is not None and prior.writer == src)
         # Demand recovery: an unreconciled file is reconciled out of order
         # so this access proceeds with only a small delay (section 4.4).
         recovery = self.site.recovery
         if recovery is not None and recovery.needs(gfile):
+            if (mode.writable and not reclaiming
+                    and self.cost.exactly_once_writes
+                    and self.cost.supervise_remote_ops):
+                # Conflict-window retirement: no write token while copies
+                # await reconciliation — a writer admitted here could race
+                # the heal into a divergent commit.  Schedule the merge
+                # and refuse; the supervised open retries until it clears.
+                recovery.demand_soon(gfile)
+                raise EWOULDCONFLICT(
+                    f"gfile {gfile} queued for reconciliation")
             yield from recovery.demand(gfile)
         entry = yield from self._css_load_entry(gfile)
+        known = p.get("known_vv")
+        if known is not None:
+            # A re-homing writer vouches for a committed version this CSS
+            # may not have heard of (e.g. it was just re-elected from a
+            # stale copy): never select a storage site older than it.
+            self._note_version(gfile, known)
+            entry.latest_vv = entry.latest_vv.merge(known)
+        if mode.writable and self.topology_epoch \
+                and self.cost.exactly_once_writes \
+                and self.cost.supervise_remote_ops \
+                and self._vv_probe_epoch.get(gfile) != \
+                self.topology_epoch:
+            # First write open since a membership change: this CSS may
+            # have been (re-)elected from a copy that missed commits
+            # (e.g. it just restarted from an old pack).  Ask the other
+            # pack sites what they committed so the storage-site selection
+            # below never grants a copy older than any surviving one.
+            # Epoch 0 (no change since boot) needs no probe: an unbroken
+            # CSS heard every commit synchronously, so fault-free runs
+            # stay protocol-identical to the paper.
+            self._vv_probe_epoch[gfile] = self.topology_epoch
+            yield from self._probe_peer_versions(entry)
         attrs = yield from self._css_local_attrs(gfile)
         if attrs["deleted"]:
             raise ENOENT(f"gfile {gfile} deleted")
         if attrs["conflict"] and not p.get("allow_conflict"):
             raise ECONFLICT(f"gfile {gfile} has unreconciled copies")
         if mode.writable and entry.writer is not None \
-                and self.cost.enforce_single_writer:
+                and self.cost.enforce_single_writer \
+                and not (reclaiming and entry.writer == src):
             raise EBUSY(f"gfile {gfile} already open for modification")
         if mode.writable and entry.lock_tx is not None and \
                 p.get("tx") != entry.lock_tx:
@@ -293,7 +426,10 @@ class FsManager(PathMixin, NamespaceMixin):
         # Reserve the modification slot *before* the storage-site poll: the
         # poll sleeps, and a second open racing through the check while the
         # first is mid-selection would give two writers (lost updates).
-        reserved = mode.writable and mode.synchronized
+        # A reclaim keeps its existing reservation: a failed re-home must
+        # not release the write token the US still holds.
+        reserved = mode.writable and mode.synchronized \
+            and not (reclaiming and entry.writer == src)
         if reserved:
             entry.writer = src
         try:
@@ -380,6 +516,29 @@ class FsManager(PathMixin, NamespaceMixin):
             self.css_entries[gfile] = entry
         return entry
 
+    def _probe_peer_versions(self, entry: CssEntry) -> Generator:
+        """Merge the committed versions at the other reachable pack sites
+        into ``entry.latest_vv`` (best effort: an unreachable peer is
+        skipped — its commits resurface through reconciliation)."""
+        gfile = entry.gfile
+        timeout = self.cost.rpc_timeout or None
+        for s in entry.storage_sites:
+            if s == self.sid:
+                continue
+            try:
+                attrs = yield from self.site.rpc(
+                    s, "fs.fetch_attrs", {"gfile": gfile}, timeout=timeout)
+            except (FsError, NetworkError):
+                continue
+            # Adopt only strictly-newer knowledge.  Merging an
+            # *incomparable* peer version would manufacture a floor no
+            # copy satisfies (every open ENOENTs); incomparable copies
+            # are a conflict, and the reconciliation path owns those.
+            if attrs["version"].dominates(entry.latest_vv):
+                self._note_version(gfile, attrs["version"])
+                entry.latest_vv = attrs["version"].copy()
+        return None
+
     def _note_version(self, gfile: Gfile, version: VersionVector) -> None:
         heard = self.known_latest.get(gfile)
         self.known_latest[gfile] = version if heard is None \
@@ -392,6 +551,7 @@ class FsManager(PathMixin, NamespaceMixin):
         if inode is not None:
             return inode.attrs()
         # CSS without a pack for this filegroup: fetch from a pack site.
+        unreachable = []
         for s in self.mount.pack_sites(gfile[0]):
             if s == self.sid:
                 continue
@@ -399,9 +559,27 @@ class FsManager(PathMixin, NamespaceMixin):
                 attrs = yield from self.site.rpc(s, "fs.fetch_attrs",
                                                  {"gfile": gfile})
                 return attrs
-            except (ENOENT, NetworkError):
+            except ENOENT:
                 continue
+            except NetworkError:
+                unreachable.append(s)
+        if unreachable and self._any_believed_up(unreachable):
+            # A pack site we believe is *up* didn't answer: a transient
+            # transport failure, not evidence the file does not exist —
+            # surface it as such so a supervised open retries instead of
+            # reporting a phantom ENOENT.  Sites the partition protocol
+            # already declared gone stay ENOENT (the paper's answer for a
+            # filegroup isolated in another partition).
+            raise NetworkError(f"no pack site for {gfile} reachable")
         raise ENOENT(f"gfile {gfile} unknown at CSS")
+
+    def _any_believed_up(self, sites) -> bool:
+        """True when current membership still contains any of ``sites``."""
+        topology = self.site.topology
+        if topology is None:
+            return True
+        members = topology.partition_set
+        return any(s in members for s in sites)
 
     def h_fetch_attrs(self, src: int, p: dict) -> Generator:
         inode = self.local_inode(p["gfile"])
@@ -514,6 +692,79 @@ class FsManager(PathMixin, NamespaceMixin):
             busy.resolve(None)
         return None
 
+    def _failover_write(self, handle: UsHandle) -> Generator:
+        """Re-home an open-for-modification handle to a surviving replica.
+
+        The read failover above substitutes a copy of the same committed
+        version; a *writer* additionally carries uncommitted state — the
+        shadow pages, a staged truncate, staged attribute patches — that
+        died with the old SS.  Reopen via the CSS with the reopen flag (so
+        our own write token is re-homed, not refused as a second writer),
+        then replay the open's uncommitted operations against the new SS
+        in protocol order: truncate first, then attribute patches, then
+        every retained page image.
+        """
+        if handle.failover_busy is not None and not handle.failover_busy.done:
+            yield handle.failover_busy
+            return None
+        busy = self.site.sim.create_future(f"failover-w:{handle.gfile}")
+        handle.failover_busy = busy
+        self.site.metrics.count("fs.write_failovers")
+        tracer = self.site.tracer
+        failed_ss = handle.ss_site
+        if tracer is not None and tracer.enabled:
+            tracer.event_on(tracer.current_ctx(), "write_failover",
+                            {"gfile": list(handle.gfile),
+                             "failed_ss": failed_ss})
+        try:
+            replacement = yield from self.open_gfile(
+                handle.gfile, handle.mode, reopen=True,
+                known_vv=handle.attrs["version"])
+            self.us.pop(replacement.hid, None)
+            handle.ss_site = replacement.ss_site
+            # Keep our staged view of the attributes (size, patches); only
+            # the committed base version comes from the replacement — it
+            # may already include the lost SS's commit if the replica
+            # pulled it before the failure.
+            handle.attrs["version"] = replacement.attrs["version"]
+            handle.attrs["storage_sites"] = \
+                replacement.attrs["storage_sites"]
+            handle.last_page = -2
+            handle.run_len = 0
+            handle.pages_sent = 0
+            handle.pending_writes = {}
+            handle.pending_size = 0
+            if handle.staged_truncate:
+                if handle.ss_site == self.sid:
+                    yield from self._ss_truncate(self.ss[handle.gfile])
+                else:
+                    yield from self.site.rpc(handle.ss_site, "fs.truncate",
+                                             {"gfile": handle.gfile})
+            if handle.staged_attrs:
+                if handle.ss_site == self.sid:
+                    self.ss[handle.gfile].shadow.set_attrs(
+                        **handle.staged_attrs)
+                else:
+                    yield from self.site.rpc(
+                        handle.ss_site, "fs.set_attrs",
+                        {"gfile": handle.gfile,
+                         "patch": dict(handle.staged_attrs)})
+            staged = dict(handle.staged_pages)
+            for page in sorted(staged):
+                yield from self._put_page(handle, page, staged[page],
+                                          handle.size)
+            if tracer is not None and tracer.enabled:
+                tracer.event_on(tracer.current_ctx(),
+                                "write_failover_complete",
+                                {"gfile": list(handle.gfile),
+                                 "failed_ss": failed_ss,
+                                 "new_ss": handle.ss_site,
+                                 "restaged": len(staged)})
+        finally:
+            handle.failover_busy = None
+            busy.resolve(None)
+        return None
+
     def _read_rpc(self, handle: UsHandle, op: str, payload: dict) -> Generator:
         """Supervised read-path RPC to the handle's storage site.
 
@@ -526,7 +777,11 @@ class FsManager(PathMixin, NamespaceMixin):
         plain unsupervised call, the paper's behaviour.
         """
         cost = self.cost
-        supervised = cost.supervise_remote_ops and not handle.mode.writable
+        # Writable handles join the supervised path only under exactly-once
+        # writes: their failover must re-home the write token and re-stage
+        # the shadow pages, which plain copy substitution cannot do.
+        supervised = cost.supervise_remote_ops and (
+            not handle.mode.writable or cost.exactly_once_writes)
         timeout = (cost.rpc_timeout or None) if supervised else None
         attempt = 0
         while True:
@@ -535,8 +790,13 @@ class FsManager(PathMixin, NamespaceMixin):
                                                   payload, timeout=timeout)
                 return result
             except (NetworkError, EBADF, ESTALE) as exc:
-                if (not supervised or handle.closed
-                        or attempt >= max(1, cost.rpc_retries)):
+                writable = handle.mode.writable
+                # A writer's budget mirrors the commit one: re-home and
+                # replay make its retries safe, so it should ride out a
+                # whole loss burst rather than fail the syscall.
+                budget = max(2 * cost.rpc_retries, 8) if writable \
+                    else max(1, cost.rpc_retries)
+                if not supervised or handle.closed or attempt >= budget:
                     raise
                 attempt += 1
                 failed_ss = handle.ss_site
@@ -549,14 +809,25 @@ class FsManager(PathMixin, NamespaceMixin):
                                      "error": type(exc).__name__})
                 # Backoff first: gives the partition protocol time to agree
                 # on the new membership before the reopen picks a copy.
-                yield cost.rpc_backoff * (2 ** (attempt - 1))
+                if writable:
+                    yield cost.rpc_backoff * (2 ** min(attempt - 1, 4))
+                else:
+                    yield cost.rpc_backoff * (2 ** (attempt - 1))
                 if handle.closed:
                     raise   # reconfiguration cleanup closed it meanwhile
                 if handle.ss_site == failed_ss:
                     # Cleanup may have substituted a copy during the
                     # backoff; only reopen if the handle still points at
                     # the site that just failed.
-                    yield from self.failover_handle(handle)
+                    if writable:
+                        try:
+                            yield from self._failover_write(handle)
+                        except (NetworkError, ESTALE):
+                            # Nobody reachable right now; keep burning the
+                            # budget — the next lap retries the reopen.
+                            continue
+                    else:
+                        yield from self.failover_handle(handle)
 
     # ------------------------------------------------------------------
     # US: read
@@ -906,6 +1177,10 @@ class FsManager(PathMixin, NamespaceMixin):
             yield from self._ss_apply_write(so, page, data, new_size,
                                             writer=self.sid)
             return
+        if self.cost.exactly_once_writes:
+            # Retain the image beyond the flush: write failover re-stages
+            # it at the surviving replica.
+            handle.staged_pages[page] = data
         self.site.cache.put(self._page_key(gfile, page), data)
         if self.cost.batch_writes:
             # Write-behind: stage the page and ship a full batch at once.
@@ -1092,12 +1367,26 @@ class FsManager(PathMixin, NamespaceMixin):
         if handle.flush_timer is not None:
             handle.flush_timer.cancel()
             handle.flush_timer = None
+        if self.cost.exactly_once_writes:
+            # Earlier page images are dropped by the truncate; a failover
+            # replay starts from the truncate instead.
+            handle.staged_pages.clear()
+            handle.staged_truncate = True
         if handle.ss_site == self.sid:
             so = self.ss[handle.gfile]
             yield from self._ss_truncate(so)
+        elif self.cost.exactly_once_writes and self.cost.supervise_remote_ops:
+            # Failover-aware: an SS that dropped our open state after an
+            # asymmetric partition answers EBADF — re-home the handle (the
+            # staged truncate replays there) and retry.  Truncating twice
+            # is truncating once, so duplicate delivery is safe too.
+            yield from self._read_rpc(handle, "fs.truncate",
+                                      {"gfile": handle.gfile})
         else:
-            yield from self.site.rpc(handle.ss_site, "fs.truncate",
-                                     {"gfile": handle.gfile})
+            # Idempotent against duplicate delivery (truncating twice is
+            # truncating once), so a supervised retry is safe.
+            yield from self.site.supervised_rpc(
+                handle.ss_site, "fs.truncate", {"gfile": handle.gfile})
         self.site.cache.invalidate_file(*handle.gfile)
         handle.size = 0
         handle.dirty = True
@@ -1128,15 +1417,25 @@ class FsManager(PathMixin, NamespaceMixin):
         """Stage inode-only changes (ownership, permissions...)."""
         if not handle.mode.writable:
             raise EBADF("attribute change needs a write open")
+        if self.cost.exactly_once_writes:
+            handle.staged_attrs.update(patch)
         if handle.ss_site == self.sid:
             self.ss[handle.gfile].shadow.set_attrs(**patch)
         else:
             # Keep the SS-side operation order of the per-page protocol:
             # staged pages precede the attribute change on the wire.
             yield from self._flush_writes(handle)
-            yield from self.site.rpc(handle.ss_site, "fs.set_attrs", {
-                "gfile": handle.gfile, "patch": patch,
-            })
+            # Absolute patches are idempotent against duplicate delivery.
+            if self.cost.exactly_once_writes and self.cost.supervise_remote_ops:
+                # Failover-aware like truncate: EBADF from an SS that lost
+                # our open re-homes the handle and replays staged state.
+                yield from self._read_rpc(handle, "fs.set_attrs",
+                                          {"gfile": handle.gfile,
+                                           "patch": patch})
+            else:
+                yield from self.site.supervised_rpc(
+                    handle.ss_site, "fs.set_attrs",
+                    {"gfile": handle.gfile, "patch": patch})
         handle.attrs.update(patch)
         handle.dirty = True
         return None
@@ -1171,18 +1470,12 @@ class FsManager(PathMixin, NamespaceMixin):
             if handle.ss_site == self.sid:
                 vv = yield from self._ss_commit(handle.gfile)
             else:
-                payload = {"gfile": handle.gfile}
-                if self.cost.batch_writes:
-                    # Flush the write-behind remainder, then tell the SS
-                    # how many page writes it must have received: a batch
-                    # lost to a closed circuit fails the commit instead of
-                    # half-applying.
-                    yield from self._flush_writes(handle)
-                    payload["expected_pages"] = handle.pages_sent
-                vv = yield from self.site.rpc(handle.ss_site, "fs.commit",
-                                              payload)
+                vv = yield from self._commit_remote(handle)
             handle.pages_sent = 0
             handle.dirty = False
+            handle.staged_pages.clear()
+            handle.staged_truncate = False
+            handle.staged_attrs.clear()
             handle.attrs["version"] = vv
             return vv
         except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
@@ -1193,6 +1486,82 @@ class FsManager(PathMixin, NamespaceMixin):
             if span is not None:
                 tracer.finish(span, prev, status=status_label)
 
+    def _commit_remote(self, handle: UsHandle) -> Generator:
+        """Commit at a remote SS, exactly once.
+
+        Without exactly-once writes this is the paper's single unsupervised
+        ``fs.commit``.  With it, the request is stamped and retried under a
+        timeout: a retry reaching the same SS replays the memoized result
+        from its durable ledger (the first attempt's reply was lost, not
+        its effect), and when the SS itself is gone the handle re-homes to
+        a surviving replica (``_failover_write``) and commits there.  A
+        timed-out attempt is *ambiguous* — it may have applied before the
+        circuit closed — so the re-homed commit carries a version-vector
+        floor bumped for every SS an ambiguous attempt reached: whichever
+        way the ambiguity resolves, the surviving replica's version
+        strictly dominates the lost one instead of diverging from it.
+        """
+        cost = self.cost
+        payload = {"gfile": handle.gfile}
+        if cost.batch_writes:
+            # Flush the write-behind remainder, then tell the SS how many
+            # page writes it must have received: a batch lost to a closed
+            # circuit fails the commit instead of half-applying.
+            yield from self._flush_writes(handle)
+            payload["expected_pages"] = handle.pages_sent
+        if not (cost.exactly_once_writes and cost.supervise_remote_ops):
+            vv = yield from self.site.rpc(handle.ss_site, "fs.commit",
+                                          payload)
+            return vv
+        stamp = self.site.next_stamp()
+        payload["_stamp"] = stamp
+        ambiguous: Set[int] = set()
+        attempt = 0
+        try:
+            while True:
+                payload["_ack"] = self.site.stamp_ack()
+                target = handle.ss_site
+                try:
+                    vv = yield from self.site.rpc(
+                        target, "fs.commit", payload,
+                        timeout=cost.rpc_timeout or None)
+                    return vv
+                except (NetworkError, EBADF) as exc:
+                    # Budget mirrors the conflict-wait one: with replay
+                    # and re-home making retries safe, the commit should
+                    # ride out a whole loss burst rather than surface a
+                    # transient as a failed write.
+                    if handle.closed or \
+                            attempt >= max(2 * cost.rpc_retries, 8):
+                        raise
+                    attempt += 1
+                    if isinstance(exc, NetworkError):
+                        # The attempt may have applied before the circuit
+                        # closed; only a ledger replay or the vv floor can
+                        # disambiguate.
+                        ambiguous.add(target)
+                    self.site.metrics.count("fs.commit_retries")
+                    yield cost.rpc_backoff * (2 ** min(attempt - 1, 4))
+                    if handle.closed:
+                        raise
+                    same_site = handle.ss_site == target
+                    if same_site and isinstance(exc, NetworkError) \
+                            and attempt < 2:
+                        # First retry goes back to the same SS: if it is
+                        # reachable again its ledger replays the result.
+                        continue
+                    if same_site:
+                        yield from self._failover_write(handle)
+                    if cost.batch_writes:
+                        yield from self._flush_writes(handle)
+                        payload["expected_pages"] = handle.pages_sent
+                    floor = handle.attrs["version"]
+                    for s in sorted(ambiguous):
+                        floor = floor.bump(s)
+                    payload["vv_floor"] = floor
+        finally:
+            self.site.stamp_done(stamp[1])
+
     def abort(self, handle: UsHandle) -> Generator:
         """Undo changes back to the previous commit point."""
         if handle.closed:
@@ -1200,6 +1569,9 @@ class FsManager(PathMixin, NamespaceMixin):
         handle.pending_writes.clear()
         handle.pending_size = 0
         handle.pages_sent = 0
+        handle.staged_pages.clear()
+        handle.staged_truncate = False
+        handle.staged_attrs.clear()
         if handle.flush_timer is not None:
             handle.flush_timer.cancel()
             handle.flush_timer = None
@@ -1215,6 +1587,12 @@ class FsManager(PathMixin, NamespaceMixin):
         return None
 
     def h_commit(self, src: int, p: dict) -> Generator:
+        result = yield from self._exactly_once(
+            p, self._pack_ledger(p["gfile"][0]),
+            lambda: self._h_commit_body(src, p))
+        return result
+
+    def _h_commit_body(self, src: int, p: dict) -> Generator:
         expected = p.get("expected_pages")
         if expected is not None:
             so = self.ss.get(p["gfile"])
@@ -1233,14 +1611,17 @@ class FsManager(PathMixin, NamespaceMixin):
                 raise FsError(
                     f"commit of {p['gfile']} expected {expected} staged "
                     f"page writes, storage site received {received}")
-        vv = yield from self._ss_commit(p["gfile"])
+        stamp = p.get("_stamp") if self.cost.exactly_once_writes else None
+        vv = yield from self._ss_commit(p["gfile"], stamp=stamp,
+                                        vv_floor=p.get("vv_floor"))
         return vv
 
     def h_abort(self, src: int, p: dict) -> Generator:
         yield from self._ss_abort(p["gfile"])
         return None
 
-    def _ss_commit(self, gfile: Gfile) -> Generator:
+    def _ss_commit(self, gfile: Gfile, stamp: Optional[tuple] = None,
+                   vv_floor: Optional[VersionVector] = None) -> Generator:
         so = self.ss.get(gfile)
         if so is None:
             raise EBADF(f"{gfile} not open at storage site {self.sid}")
@@ -1251,7 +1632,26 @@ class FsManager(PathMixin, NamespaceMixin):
             yield from self._ss_abort(gfile)
             raise EIO(f"commit refused, staged write failed: {detail}")
         pages_changed = so.shadow.shadowed_pages
-        vv = so.shadow.commit(mtime=self.site.sim.now)
+        if vv_floor is not None:
+            # A re-homed commit after failover: the new version must
+            # dominate every copy an ambiguous earlier attempt may have
+            # committed, so the retry supersedes the lost attempt instead
+            # of diverging from it.
+            new_version = so.shadow.incore.version.merge(vv_floor) \
+                .bump(self.sid)
+            vv = so.shadow.commit(new_version=new_version,
+                                  mtime=self.site.sim.now)
+        else:
+            vv = so.shadow.commit(mtime=self.site.sim.now)
+        if stamp is not None:
+            # Same atomic step as the commit itself (no yields since): the
+            # durable reply memo and the applied-ops audit shadow move
+            # with the inode write, so a crash can never separate "applied"
+            # from "recorded" in a way that re-executes on retry.
+            pack_ = self.local_pack(gfile[0])
+            key = tuple(stamp)
+            pack_.applied_ops[key] = pack_.applied_ops.get(key, 0) + 1
+            self._pack_ledger(gfile[0]).commit(stamp[0], stamp[1], vv)
         so.pages_received = 0
         yield from self.site.cpu(self.cost.disk_write)  # the inode write
         # Committed-view pages cached before this commit are now stale.
@@ -1486,9 +1886,43 @@ class FsManager(PathMixin, NamespaceMixin):
         if handle.ss_site == self.sid:
             yield from self._ss_close_local(gfile, handle.mode, self.sid)
         elif handle.sync:
-            yield from self.site.rpc(handle.ss_site, "fs.close", {
-                "gfile": gfile, "mode": handle.mode,
-            })
+            if self.cost.exactly_once_writes and self.cost.supervise_remote_ops:
+                # Stamped: fs.close decrements open counts, so a duplicate
+                # delivery must replay, not double-close.  If the SS is
+                # gone for good, release the CSS registration directly —
+                # the commit (if any) is already durable, and leaving the
+                # write token claimed would starve every later writer
+                # until reconfiguration cleanup notices.
+                try:
+                    yield from self.site.supervised_rpc(
+                        handle.ss_site, "fs.close",
+                        {"gfile": gfile, "mode": handle.mode},
+                        idempotent=False, once=True)
+                except NetworkError:
+                    self.site.metrics.count("fs.close_rescues")
+                    css = self.mount.css_for(gfile[0])
+                    payload = {"gfile": gfile, "us": self.sid,
+                               "mode": handle.mode}
+                    if css == self.sid:
+                        yield from self.h_css_ss_close(self.sid, payload)
+                    else:
+                        # The release must actually land: a leaked write
+                        # token starves every later writer with EBUSY
+                        # until reconfiguration notices.  Supervised and
+                        # stamped (note_close decrements reader counts),
+                        # best-effort beyond that.
+                        try:
+                            yield from self.site.supervised_rpc(
+                                lambda: self.mount.css_for(gfile[0]),
+                                "fs.css_ss_close", payload,
+                                idempotent=False, once=True)
+                        except (NetworkError, FsError):
+                            yield from self.site.oneway_quiet(
+                                css, "fs.css_ss_close", payload)
+            else:
+                yield from self.site.rpc(handle.ss_site, "fs.close", {
+                    "gfile": gfile, "mode": handle.mode,
+                })
             self.site.cache.invalidate_file(*gfile)
         else:
             yield from self.site.oneway_quiet(handle.ss_site,
@@ -1500,7 +1934,9 @@ class FsManager(PathMixin, NamespaceMixin):
         return None
 
     def h_close(self, src: int, p: dict) -> Generator:
-        yield from self._ss_close_local(p["gfile"], p["mode"], src)
+        yield from self._exactly_once(
+            p, self.op_ledger,
+            lambda: self._ss_close_local(p["gfile"], p["mode"], src))
         return None
 
     def h_close_unsync(self, src: int, p: dict) -> Generator:
@@ -1521,6 +1957,26 @@ class FsManager(PathMixin, NamespaceMixin):
             payload = {"gfile": gfile, "us": us, "mode": mode}
             if css == self.sid:
                 yield from self.h_css_ss_close(self.sid, payload)
+            elif self.cost.exactly_once_writes \
+                    and self.cost.supervise_remote_ops:
+                # Stamped so a duplicate delivery replays instead of
+                # double-decrementing open counts; the fault-free path
+                # stays the paper's synchronous one-pair notification.
+                payload["_stamp"] = self.site.next_stamp()
+                payload["_ack"] = self.site.stamp_ack()
+                try:
+                    yield from self.site.rpc(
+                        css, "fs.css_ss_close", payload,
+                        timeout=self.cost.rpc_timeout or None)
+                    self.site.stamp_done(payload["_stamp"][1])
+                except NetworkError:
+                    # The release must land or the writer token leaks
+                    # and every later open gets EBUSY until
+                    # reconfiguration.  Spawned: the close reply must
+                    # not wait out a loss burst's worth of retries.
+                    self.site.spawn(
+                        self._notify_css_close(gfile, payload),
+                        name=f"css-close:{gfile}@{self.sid}")
             else:
                 try:
                     yield from self.site.rpc(css, "fs.css_ss_close", payload)
@@ -1529,7 +1985,26 @@ class FsManager(PathMixin, NamespaceMixin):
         self._maybe_drop_ss(gfile, so)
         return None
 
+    def _notify_css_close(self, gfile: Gfile, payload: dict) -> Generator:
+        """Background retry of a close notification whose first attempt
+        timed out; reuses the caller's stamp so the CSS replays rather
+        than re-executes if the first attempt actually landed."""
+        try:
+            yield from self.site.supervised_rpc(
+                lambda: self.mount.css_for(gfile[0]),
+                "fs.css_ss_close", payload, idempotent=False, once=True)
+        except (NetworkError, FsError):
+            pass  # reconfiguration will rebuild the CSS state
+        finally:
+            self.site.stamp_done(payload["_stamp"][1])
+        return None
+
     def h_css_ss_close(self, src: int, p: dict) -> Generator:
+        yield from self._exactly_once(
+            p, self.op_ledger, lambda: self._css_ss_close_body(p))
+        return None
+
+    def _css_ss_close_body(self, p: dict) -> Generator:
         entry = self.css_entries.get(p["gfile"])
         if entry is not None:
             entry.note_close(p["us"], p["mode"])
@@ -1551,6 +2026,12 @@ class FsManager(PathMixin, NamespaceMixin):
     # ------------------------------------------------------------------
 
     def h_create_file(self, src: int, p: dict) -> Generator:
+        result = yield from self._exactly_once(
+            p, self._pack_ledger(p["gfs"]),
+            lambda: self._create_file_body(src, p))
+        return result
+
+    def _create_file_body(self, src: int, p: dict) -> Generator:
         """At the primary storage site: allocate an inode from the local
         pack's pool (the placeholder protocol) and commit version 1."""
         pack = self.local_pack(p["gfs"])
@@ -1561,9 +2042,17 @@ class FsManager(PathMixin, NamespaceMixin):
                                  storage_sites=p["storage_sites"])
         inode.version = VersionVector().bump(self.sid)
         inode.mtime = self.site.sim.now
-        yield from self.site.cpu(self.cost.disk_write)
         gfile = (p["gfs"], inode.ino)
         attrs = inode.attrs()
+        stamp = p.get("_stamp") if self.cost.exactly_once_writes else None
+        if stamp is not None:
+            # Recorded in the same atomic step as the allocation: a retry
+            # arriving after a crash replays these attrs instead of
+            # allocating a second (orphan) inode.
+            key = tuple(stamp)
+            pack.applied_ops[key] = pack.applied_ops.get(key, 0) + 1
+            self._pack_ledger(p["gfs"]).commit(stamp[0], stamp[1], attrs)
+        yield from self.site.cpu(self.cost.disk_write)
         # Let the other packs learn of the new file.
         yield from self._after_commit(gfile, attrs, [])
         return attrs

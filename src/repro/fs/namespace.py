@@ -77,6 +77,22 @@ class NamespaceMixin:
                 yield from self.close(handle)
         return result
 
+    def _open_write_retry(self, gfile: Gfile,
+                          allow_conflict: bool = False) -> Generator:
+        """Open a file for modification, waiting out another site's write
+        lock the same way ``_dir_modify`` does for directories: nlink
+        updates are atomic kernel operations, so EBUSY is absorbed by the
+        kernel rather than reflected to the application (and leaving the
+        syscall half-done — entry inserted, count never bumped)."""
+        for attempt in range(200):
+            try:
+                handle = yield from self.open_gfile(
+                    gfile, Mode.WRITE, allow_conflict=allow_conflict)
+                return handle
+            except EBUSY:
+                yield 2.0 + 0.5 * (self.sid % 7)   # deterministic backoff
+        raise EBUSY(f"file {gfile} modification lock unavailable")
+
     # ------------------------------------------------------------------
     # Storage-site selection (section 2.3.7)
     # ------------------------------------------------------------------
@@ -135,13 +151,16 @@ class NamespaceMixin:
         chosen = storage_sites or self._choose_storage_sites(
             proc, parent_attrs["storage_sites"])
         owner = getattr(proc, "user", "root") if proc else "root"
-        attrs = yield from self.site.rpc(chosen[0], "fs.create_file", {
-            "gfs": parent[0],
-            "ftype": ftype,
-            "owner": owner,
-            "perms": perms,
-            "storage_sites": chosen,
-        })
+        # Stamped exactly-once: a retried create must replay the recorded
+        # allocation, never mint a second orphan inode.
+        attrs = yield from self.site.supervised_rpc(
+            chosen[0], "fs.create_file", {
+                "gfs": parent[0],
+                "ftype": ftype,
+                "owner": owner,
+                "perms": perms,
+                "storage_sites": chosen,
+            }, idempotent=False, once=True)
         gfile: Gfile = (parent[0], attrs["ino"])
         try:
             yield from self._dir_modify(
@@ -238,8 +257,8 @@ class NamespaceMixin:
         # tombstoned inode to every pack and increments the version vector.
         # Removal of a conflicted file is always allowed (the split tool
         # relies on it; unlink never reads the data).
-        handle = yield from self.open_gfile(target, Mode.WRITE,
-                                            allow_conflict=True)
+        handle = yield from self._open_write_retry(target,
+                                                   allow_conflict=True)
         try:
             nlink = max(0, handle.attrs["nlink"] - 1)
             if nlink == 0:
@@ -264,7 +283,7 @@ class NamespaceMixin:
         check_name(name)
         yield from self._dir_modify(
             parent, lambda view: view.insert(name, gfile[1], ftype))
-        handle = yield from self.open_gfile(gfile, Mode.WRITE)
+        handle = yield from self._open_write_retry(gfile)
         try:
             yield from self.set_attrs(handle,
                                       nlink=handle.attrs["nlink"] + 1)

@@ -46,6 +46,7 @@ class PathMixin:
         if inode is not None:
             yield from self.site.cpu(self.cost.buffer_hit)
             return inode.attrs()
+        unreachable = []
         for s in self.mount.pack_sites(gfile[0]):
             if s == self.sid:
                 continue
@@ -53,8 +54,17 @@ class PathMixin:
                 attrs = yield from self.site.rpc(s, "fs.fetch_attrs",
                                                  {"gfile": gfile})
                 return attrs
-            except (ENOENT, NetworkError):
+            except ENOENT:
                 continue
+            except NetworkError:
+                unreachable.append(s)
+        if unreachable and self._any_believed_up(unreachable):
+            # Transient: a pack site believed up was cut off mid-exchange.
+            # A NetworkError lets supervised callers retry; an ENOENT here
+            # would turn a circuit blip into a phantom missing file.  Pack
+            # sites already declared gone stay ENOENT (a filegroup isolated
+            # in another partition really is unavailable, not in flux).
+            raise NetworkError(f"no pack site for {gfile} reachable")
         raise ENOENT(f"gfile {gfile}: no pack site reachable")
 
     # -- directory reading -------------------------------------------------

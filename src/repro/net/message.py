@@ -91,10 +91,13 @@ def payload_size(payload: Any) -> int:
         return 8
     if tp is dict:
         # "__wire_bytes__" stands in for bulk data (e.g. a process image
-        # shipped by remote fork) without materializing the bytes.
+        # shipped by remote fork) without materializing the bytes.  Other
+        # "_"-prefixed keys ("_stamp", "_ack") are header-riding metadata
+        # like trace_ctx: excluded from the wire-size model so message
+        # timing is identical with exactly-once stamping on or off.
         total = payload.get("__wire_bytes__", 0)
         for k, v in payload.items():
-            if k != "__wire_bytes__":
+            if type(k) is not str or not k.startswith("_"):
                 total += payload_size(k) + payload_size(v)
         return total
     if tp is list or tp is tuple:
@@ -119,7 +122,7 @@ def _payload_size_slow(payload: Any) -> int:
         extra = payload.get("__wire_bytes__", 0)
         return extra + sum(payload_size(k) + payload_size(v)
                            for k, v in payload.items()
-                           if k != "__wire_bytes__")
+                           if not (isinstance(k, str) and k.startswith("_")))
     if isinstance(payload, (list, tuple, set, frozenset)):
         return sum(payload_size(v) for v in payload)
     # Fallback for small structured objects (version vectors expose to_dict).

@@ -25,6 +25,9 @@ from repro.errors import ESTALE, FsError, NetworkError
 
 def run_cleanup(site, lost: Set[int], members: Set[int]) -> Generator:
     """Apply the failure-action table at one site after a topology change."""
+    # New epoch: CSS peer-version knowledge gathered before this change is
+    # suspect (a rejoined site may carry commits nobody here has heard of).
+    site.fs.topology_epoch += 1
     yield from _cleanup_fs(site, lost, members)
     if site.proc is not None:
         site.proc.on_partition_change(lost)
@@ -60,11 +63,21 @@ def _cleanup_fs(site, lost: Set[int], members: Set[int]) -> Generator:
             continue
         site.cache.invalidate_file(*handle.gfile)
         if handle.mode.writable:
-            # "Discard pages, set error in local file descriptor."
-            handle.attrs["error"] = f"storage site {handle.ss_site} lost"
-            handle.dirty = False
-            handle.closed = True
-            fs.us.pop(handle.hid, None)
+            cost = fs.cost
+            if cost.exactly_once_writes and cost.supervise_remote_ops:
+                # Write-path failover: the open's uncommitted operations
+                # are still staged on the handle, so instead of erroring
+                # the descriptor we re-home it to a surviving replica and
+                # replay them there.  Falls back to the paper's failure
+                # action when no copy survives.
+                site.spawn(_rehome_writer(site, handle),
+                           name=f"rehome:{handle.gfile}@{site.site_id}")
+            else:
+                # "Discard pages, set error in local file descriptor."
+                handle.attrs["error"] = f"storage site {handle.ss_site} lost"
+                handle.dirty = False
+                handle.closed = True
+                fs.us.pop(handle.hid, None)
         else:
             # "Internal close, attempt to reopen at other site" — the system
             # substitutes a different copy of the same version if possible.
@@ -76,6 +89,23 @@ def _cleanup_fs(site, lost: Set[int], members: Set[int]) -> Generator:
                        name=f"reopen:{handle.gfile}@{site.site_id}")
     return None
     yield  # pragma: no cover -- keeps this a generator for run_cleanup
+
+
+def _rehome_writer(site, handle) -> Generator:
+    """Exactly-once write failover from reconfiguration cleanup: reopen
+    the file at a surviving pack copy and re-stage the handle's
+    uncommitted pages / truncate / attribute patches there.  If nothing
+    survives the descriptor gets the paper's error instead."""
+    fs = site.fs
+    try:
+        yield from fs._failover_write(handle)
+    except (FsError, NetworkError):
+        if not handle.closed:
+            handle.attrs["error"] = f"storage site {handle.ss_site} lost"
+            handle.dirty = False
+            handle.closed = True
+            fs.us.pop(handle.hid, None)
+    return None
 
 
 def _reopen_elsewhere(site, handle) -> Generator:

@@ -27,6 +27,7 @@ class RecoveryStats:
         self.conflicts_marked = 0
         self.deletes_undone = 0
         self.name_conflicts = 0
+        self.nlink_repairs = 0
         self.mails_sent = 0
 
 
@@ -41,6 +42,11 @@ class RecoveryManager:
         # individual files forward in the queue, section 4.4).
         self.pending: Dict[int, Set[int]] = {}
         self._sweep_inventories: Dict[int, Dict[int, dict]] = {}
+        # Demand reconciliations currently executing: gfile -> completion
+        # future.  ``needs`` stays true for these so a writer open racing a
+        # mid-flight merge is still refused (the conflict window would
+        # otherwise reopen between the pending-discard and the install).
+        self._demanding: Dict[Gfile, object] = {}
         # Registered higher-level recovery/merge managers by file type
         # (section 4.3): ftype -> callable(copies) -> merged bytes or None.
         self.merge_managers: Dict[FileType, Callable] = {}
@@ -53,6 +59,7 @@ class RecoveryManager:
     def reset_volatile(self) -> None:
         self.pending.clear()
         self._sweep_inventories.clear()
+        self._demanding.clear()
 
     def on_restart(self) -> None:
         pass
@@ -99,12 +106,19 @@ class RecoveryManager:
                                       "status": status_label})
 
     def needs(self, gfile: Gfile) -> bool:
-        return gfile[1] in self.pending.get(gfile[0], ())
+        return (gfile[1] in self.pending.get(gfile[0], ())
+                or gfile in self._demanding)
 
     def demand(self, gfile: Gfile) -> Generator:
         """Demand recovery: reconcile one file out of order so regular
         traffic sees only a small delay (section 4.4)."""
         gfs, ino = gfile
+        inflight = self._demanding.get(gfile)
+        if inflight is not None:
+            # Another access is already reconciling this file; running a
+            # second merge concurrently would race the first's install.
+            yield inflight
+            return None
         if not self.needs(gfile):
             return None
         tracer = getattr(self.site, "tracer", None)
@@ -114,8 +128,26 @@ class RecoveryManager:
                             {"gfile": list(gfile)})
         inventories = self._sweep_inventories.get(gfs, {})
         self.pending.get(gfs, set()).discard(ino)
-        yield from self._reconcile_ino(gfs, ino, inventories)
+        done = self.site.sim.create_future(f"demand:{gfile}")
+        self._demanding[gfile] = done
+        try:
+            yield from self._reconcile_ino(gfs, ino, inventories)
+        finally:
+            self._demanding.pop(gfile, None)
+            done.resolve(None)
         return None
+
+    def demand_soon(self, gfile: Gfile) -> None:
+        """Schedule demand reconciliation without blocking the caller.
+
+        The conflict-window retirement path: the CSS refuses a writer open
+        with EWOULDCONFLICT and kicks the merge off here, so the writer's
+        supervised retry finds the file reconciled instead of waiting for
+        the sweep to reach it."""
+        if gfile in self._demanding or not self.needs(gfile):
+            return
+        self.site.spawn(self.demand(gfile),
+                        name=f"demand:{gfile}@{self.sid}")
 
     # ------------------------------------------------------------------
     # The filegroup sweep
@@ -160,8 +192,121 @@ class RecoveryManager:
                 yield from self._reconcile_ino(gfs, ino, inventories)
             except (NetworkError, FsError):
                 pass  # a site vanished mid-recovery; the next merge retries
+        try:
+            yield from self._repair_link_counts(gfs)
+        except (NetworkError, FsError):
+            pass
         self.pending.pop(gfs, None)
         self._sweep_inventories.pop(gfs, None)
+        return None
+
+    def _link_census(self, gfs: int) -> Generator:
+        """Count live directory references per inode across the filegroup.
+
+        Returns ``(best, refs)`` where ``best`` maps each live inode to
+        its latest ``(site, attrs)`` copy and ``refs`` maps inode to the
+        number of live entries naming it — or None when any directory is
+        unreadable or its copies are in version conflict (a partial
+        census could shrink a correct nlink).
+        """
+        members = self.site.topology.partition_set if self.site.topology \
+            else set(self.site.net.site_ids)
+        inventories: Dict[int, dict] = {}
+        for s in self.site.fs.mount.pack_sites(gfs):
+            if s not in members:
+                continue
+            try:
+                inventories[s] = yield from self._rpc(
+                    s, "fs.pack_inventory", {"gfs": gfs})
+            except (NetworkError, FsError):
+                continue
+        if not inventories:
+            return None
+        all_inos = set()
+        for inv in inventories.values():
+            all_inos |= set(inv)
+        best: Dict[int, Tuple[int, dict]] = {}
+        for ino in all_inos:
+            holders = [(s, inv[ino]["attrs"])
+                       for s, inv in inventories.items()
+                       if ino in inv and inv[ino]["has_data"]]
+            live = [(s, a) for s, a in holders if not a["deleted"]]
+            if not live:
+                continue
+            __, best_vv, conflict = latest(
+                (s, a["version"]) for s, a in live)
+            if conflict:
+                if live[0][1]["ftype"] in (FileType.DIRECTORY,
+                                           FileType.HIDDEN_DIR):
+                    return None
+                continue
+            best[ino] = next((s, a) for s, a in live
+                             if a["version"] == best_vv)
+        refs: Dict[int, int] = {}
+        for ino, (s, attrs) in sorted(best.items()):
+            if attrs["ftype"] not in (FileType.DIRECTORY,
+                                      FileType.HIDDEN_DIR):
+                continue
+            try:
+                data = yield from self._read_copy(s, (gfs, ino), attrs)
+                entries = decode_entries(data)
+            except (NetworkError, FsError):
+                return None
+            for entry in entries:
+                if entry.deleted or entry.name in (".", ".."):
+                    continue
+                refs[entry.ino] = refs.get(entry.ino, 0) + 1
+        return best, refs
+
+    def _repair_link_counts(self, gfs: int) -> Generator:
+        """Post-sweep nlink repair.
+
+        Directory merges union inserts and undo deletes (section 4.4
+        rules a/d), which changes how many live names reference a file
+        without ever opening its inode; a link/unlink that committed the
+        entry but lost the count update in a partition leaves the same
+        skew.  Recount live references from the reconciled directories
+        and fix any regular file whose nlink disagrees — what ``fsck
+        -y`` would do, run as part of the merge procedure.
+        """
+        census = yield from self._link_census(gfs)
+        if census is None:
+            return None
+        best, refs = census
+        for ino in sorted(best):
+            s, attrs = best[ino]
+            if attrs["ftype"] is not FileType.REGULAR or attrs["conflict"]:
+                continue
+            n = refs.get(ino, 0)
+            if n == 0 or n == attrs["nlink"]:
+                continue  # orphans are fsck's report, not a repair target
+            try:
+                yield from self._repair_one_nlink(gfs, ino)
+            except (NetworkError, FsError):
+                pass
+        return None
+
+    def _repair_one_nlink(self, gfs: int, ino: int) -> Generator:
+        """Fix one file's link count under its CSS write lock.
+
+        A bare install races in-flight writers: a commit opened while
+        the census ran would overwrite the repaired count.  Taking the
+        normal open-for-modification lock serializes the repair with any
+        writer, and the recount under the lock sees the final entry set.
+        """
+        fs = self.site.fs
+        handle = yield from fs._open_write_retry((gfs, ino))
+        try:
+            census = yield from self._link_census(gfs)
+            if census is None:
+                return None
+            __, refs = census
+            n = refs.get(ino, 0)
+            if n and n != handle.attrs["nlink"]:
+                self.stats.nlink_repairs += 1
+                yield from fs.set_attrs(handle, nlink=n)
+        finally:
+            yield from fs.close(handle)
         return None
 
     # ------------------------------------------------------------------
@@ -241,6 +386,12 @@ class RecoveryManager:
         self.pending.get(gfs, set()).discard(ino)
         yield from self._reconcile_ino(gfs, ino, inventories,
                                        attempt=attempt)
+        # A deferred directory merge can resurrect entries after the
+        # sweep's link-count pass already ran; recount once more.
+        try:
+            yield from self._repair_link_counts(gfs)
+        except (NetworkError, FsError):
+            pass
         return None
 
     def _propagate_best(self, gfile: Gfile, holders: List[Tuple[int, dict]],
@@ -291,8 +442,30 @@ class RecoveryManager:
         copies = []
         owners = {}
         for s, attrs in holders:
-            data = yield from self._read_copy(s, gfile, attrs)
-            copies.append(decode_entries(data))
+            for attempt in range(3):
+                data = yield from self._read_copy(s, gfile, attrs)
+                try:
+                    entries = decode_entries(data)
+                    break
+                except ValueError:
+                    # Torn read: a live writer committed between the
+                    # inventory snapshot and the page pulls, so the
+                    # snapshot size sliced mid-record.  Re-fetch the
+                    # inode and read again.
+                    yield 5.0 * (attempt + 1)
+                    try:
+                        attrs = yield from self._rpc(
+                            s, "fs.fetch_attrs", {"gfile": gfile})
+                    except (NetworkError, FsError):
+                        pass
+            else:
+                # Never stabilized: surface as transient so the caller
+                # (a supervised open, or the deferred-retry sweep)
+                # reschedules the whole reconcile instead of merging
+                # from garbage.
+                raise NetworkError(
+                    f"directory copy of {gfile} at site {s} unstable")
+            copies.append(entries)
             owners[s] = attrs["owner"]
 
         def file_version(ino: int) -> Optional[VersionVector]:

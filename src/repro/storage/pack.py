@@ -50,6 +50,17 @@ class Pack:
         # Injected disk faults (repro.faults): the next N block writes fail
         # with EIO instead of taking effect.
         self.write_faults = 0
+        # Exactly-once bookkeeping.  The idempotency ledger lives on the
+        # pack because packs model the disk: a commit's memoized reply must
+        # survive an SS crash exactly as the committed blocks do, so a
+        # retry arriving after restart replays instead of re-applying.
+        # Created lazily by the fs manager (the ledger window is a cost-
+        # model knob the pack does not see).
+        self.ledger = None
+        # Audit shadow for the invariant checker: (client, seq) -> number
+        # of times a stamped mutating op actually executed against this
+        # pack.  Any count above one is an exactly-once violation.
+        self.applied_ops: Dict[tuple, int] = {}
 
     # -- blocks ------------------------------------------------------------
 

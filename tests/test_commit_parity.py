@@ -30,9 +30,14 @@ FLAG_COMBOS = [
     {"pull_manifest": True, "pull_pipeline": 4},
     {"batch_writes": True, "pull_manifest": True,
      "batch_pages": 4, "pull_pipeline": 4},
+    # Exactly-once writes is ON in the default combo above; this leg
+    # proves the whole stamping/ledger machinery is invisible on
+    # fault-free runs — byte-identical post-state with it disabled.
+    {"exactly_once_writes": False},
 ]
 
-COMBO_IDS = ["off", "batch_writes", "pull_manifest", "both"]
+COMBO_IDS = ["off", "batch_writes", "pull_manifest", "both",
+             "no_exactly_once"]
 
 
 def poststate(cluster):

@@ -114,6 +114,31 @@ def test_forged_orphan_reported_but_not_audited_by_default(run):
     assert "fsck:orphan_inodes" not in judged
 
 
+# -- exactly-once ledger audit ---------------------------------------------
+
+def test_forged_ledger_entry_without_apply(run):
+    """A memoized reply for an op that never executed here would silently
+    swallow a real mutation on retry — the audit must flag the forgery."""
+    from repro.fs.ledger import IdempotencyLedger
+    packs, gfs, ino = data_packs(run.cluster)
+    pack = packs[min(packs)]
+    if pack.ledger is None:
+        pack.ledger = IdempotencyLedger()
+    pack.ledger.commit(0, 424242, "forged reply")
+    assert "ledger:entry_without_apply" in kinds(run)
+
+
+def test_forged_double_apply(run):
+    """The same stamp executed twice against one pack is the exact failure
+    the ledger exists to prevent."""
+    packs, gfs, ino = data_packs(run.cluster)
+    pack = packs[min(packs)]
+    existing = next(iter(pack.applied_ops), None)
+    key = existing if existing is not None else (0, 7)
+    pack.applied_ops[key] = 2
+    assert "ledger:double_apply" in kinds(run)
+
+
 # -- byte convergence (oracle-only check) ----------------------------------
 
 def test_forged_data_divergence_behind_equal_versions(run):

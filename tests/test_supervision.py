@@ -151,8 +151,10 @@ class TestReadFailover:
     def test_write_handle_never_blind_retries(self):
         """An SS crash under an open-for-write marks the descriptor in
         error and aborts the shadow (the paper's failure-action table);
-        supervision must not change that."""
-        cluster, gfile = self._replicated(seed=53)
+        supervision alone must not change that.  (With
+        ``exactly_once_writes`` — on by default — the handle instead
+        re-homes to a surviving replica; see tests/test_exactly_once.py.)"""
+        cluster, gfile = self._replicated(seed=53, exactly_once_writes=False)
         fs0 = cluster.site(0).fs
         handle = cluster.call(0, fs0.open_gfile(gfile, Mode.WRITE))
         cluster.call(0, fs0.write(handle, 0, b"Z" * 2048))

@@ -28,8 +28,9 @@ from repro.fuzz.runner import PlanRunner, run_plan
 from repro.fuzz.shrink import shrink_failing_result
 from _harness import print_table, run_experiment
 
-# Full batch (BENCH_fuzz.json, __main__ only).
-FULL = dict(seeds=range(11, 31), n_ops=40, n_faults=8)
+# Full batch (BENCH_fuzz.json, __main__ only) — the open-findings
+# ledger: the same 30 seeds the nightly CI gate replays.
+FULL = dict(seeds=range(1, 31), n_ops=40, n_faults=8)
 # Reduced batch for the pytest smoke run.
 SMOKE = dict(seeds=range(11, 15), n_ops=20, n_faults=4)
 
@@ -89,12 +90,58 @@ def _shrink_demo():
             "wall_s": round(wall, 2)}
 
 
+def _scrub_overhead():
+    """What the anti-entropy scrub costs: the same divergence-then-heal
+    scenario with the flag on and off, compared on virtual time and
+    message count.  Fault-free traffic is identical by construction (the
+    sweep only triggers from the merge procedure), so the interesting
+    number is the per-heal overhead of the digest rounds."""
+    from repro import LocusCluster
+    from repro.config import CostModel
+
+    out = {}
+    for flag in (True, False):
+        cluster = LocusCluster(
+            n_sites=3, seed=19,
+            cost=CostModel().with_overrides(scrub_enabled=flag))
+        sh = cluster.shell(0)
+        sh.setcopies(3)
+        for i in range(8):
+            sh.write_file(f"/f{i}", bytes([i]) * 600)
+        cluster.settle()
+        faultfree = {"vtime": cluster.sim.now,
+                     "messages": cluster.net.stats.total_messages}
+        cluster.partition({0}, {1, 2})
+        for i in range(8):
+            sh.write_file(f"/f{i}", bytes([i + 100]) * 900)
+        cluster.heal()
+        cluster.settle()
+        out["on" if flag else "off"] = {
+            "fault_free": faultfree,
+            "after_heal": {"vtime": cluster.sim.now,
+                           "messages": cluster.net.stats.total_messages},
+            "scrub_msgs": sum(n for k, n in cluster.net.stats.sent.items()
+                              if k.startswith("fs.scrub_digest")),
+        }
+    on, off = out["on"], out["off"]
+    out["fault_free_parity"] = on["fault_free"] == off["fault_free"]
+    out["heal_overhead"] = {
+        "messages": on["after_heal"]["messages"]
+        - off["after_heal"]["messages"],
+        "vtime": round(on["after_heal"]["vtime"]
+                       - off["after_heal"]["vtime"], 1),
+    }
+    return out
+
+
 def _experiment(scale):
     batch = _fuzz_batch(**scale)
     det = _determinism(next(iter(scale["seeds"])),
                        scale["n_ops"], scale["n_faults"])
     shrink = _shrink_demo()
-    return {"batch": batch, "determinism": det, "shrink": shrink}
+    scrub = _scrub_overhead()
+    return {"batch": batch, "determinism": det, "shrink": shrink,
+            "scrub_overhead": scrub}
 
 
 # -- pytest entry points ---------------------------------------------------
@@ -129,6 +176,21 @@ def test_t19_shrink_efficiency(benchmark):
     assert out["reduction"] >= 5.0
 
 
+@pytest.mark.benchmark(group="T19")
+def test_t19_scrub_overhead(benchmark):
+    out = run_experiment(benchmark, _scrub_overhead)
+    print_table("T19 scrub overhead (divergence + heal)",
+                ["ff parity", "heal msgs", "heal vtime", "digest msgs"],
+                [[out["fault_free_parity"],
+                  out["heal_overhead"]["messages"],
+                  out["heal_overhead"]["vtime"],
+                  out["on"]["scrub_msgs"]]])
+    assert out["fault_free_parity"], \
+        "scrub_enabled changed fault-free traffic"
+    assert out["on"]["scrub_msgs"] > 0      # the sweep actually ran
+    assert out["off"]["scrub_msgs"] == 0
+
+
 if __name__ == "__main__":
     out = _experiment(FULL)
     baseline = {
@@ -136,6 +198,7 @@ if __name__ == "__main__":
         "batch": out["batch"],
         "determinism": out["determinism"],
         "shrink": out["shrink"],
+        "scrub_overhead": out["scrub_overhead"],
     }
     with open("BENCH_fuzz.json", "w") as fh:
         json.dump(baseline, fh, indent=2, default=str)

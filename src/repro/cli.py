@@ -361,7 +361,16 @@ def fuzz_main(argv: List[str]) -> int:
             plan = FuzzPlan.from_json(fh.read())
         result = run_plan(plan)
         print(result.report())
-        print(f"run digest: {result.digest()}")
+        digest = result.digest()
+        print(f"run digest: {digest}")
+        if plan.expect_digest is not None and digest != plan.expect_digest:
+            # The plan no longer reproduces the interleaving it was
+            # minimised for: its regression value is gone even if the run
+            # happens to pass, so fail loudly and say what drifted.
+            print(f"digest mismatch: expected {plan.expect_digest}, "
+                  f"got {digest} — the recorded fault interleaving no "
+                  f"longer reproduces")
+            return 1
         return 0 if result.ok else 1
 
     runs = opts.runs

@@ -135,6 +135,20 @@ class CostModel:
     # registry (plain counter/histogram updates).
     trace_enabled: bool = True
 
+    # Anti-entropy scrub (ISSUE 9).  After a partition merge or recovery
+    # sweep, each CSS sweeps the filegroups it synchronizes: every pack
+    # holder returns a batched (version vector, content digest) summary
+    # over one fs.scrub_digest RPC, and mismatches are classified and
+    # repaired — a dominated copy is pulled up to date through the normal
+    # propagation machinery, equal-vv digest skew is flagged as a conflict
+    # (or re-merged, for directories), and a copy a pack stores without
+    # advertising is retired.  The scrub only ever runs after a heal or
+    # merge, never in fault-free steady state, so flag-off runs are
+    # byte-identical when no fault fires.
+    scrub_enabled: bool = True
+    scrub_rounds: int = 4           # max sweep rounds before giving up
+    scrub_interval: float = 150.0   # virtual-time delay between rounds
+
     # Reconfiguration timers
     poll_timeout: float = 50.0      # RPC poll timeout used by reconfiguration
     merge_long_timeout: float = 200.0   # while expected sites missing

@@ -119,6 +119,7 @@ class LocusCluster:
 
     def _attach_subsystems(self) -> None:
         # Imported here to keep module dependencies one-directional.
+        from repro.fs.scrub import ScrubManager
         from repro.proc.manager import ProcManager
         from repro.recovery.manager import RecoveryManager
         from repro.reconfig.topology import TopologyService
@@ -127,6 +128,7 @@ class LocusCluster:
             site.proc = ProcManager(site)
             site.tx = TxManager(site)
             site.recovery = RecoveryManager(site)
+            site.scrub = ScrubManager(site)
             site.topology = TopologyService(site, n_sites=len(self.sites))
 
     def _boot(self) -> None:

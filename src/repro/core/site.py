@@ -97,6 +97,7 @@ class Site:
         self.proc = None        # repro.proc.manager.ProcManager
         self.topology = None    # repro.reconfig.topology.TopologyService
         self.recovery = None    # repro.recovery.manager.RecoveryManager
+        self.scrub = None       # repro.fs.scrub.ScrubManager
         self.tx = None          # repro.tx.manager.TxManager
         net.register_site(site_id, self._on_message, self._on_circuit_closed)
 
@@ -454,7 +455,7 @@ class Site:
         self.cache.clear()
         self.net.fail_site(self.site_id)
         for subsystem in (self.fs, self.proc, self.tx, self.recovery,
-                          self.topology):
+                          self.scrub, self.topology):
             if subsystem is not None:
                 subsystem.reset_volatile()
 
@@ -464,7 +465,7 @@ class Site:
         self.net.restore_site(self.site_id)
         self.up = True
         for subsystem in (self.fs, self.proc, self.tx, self.recovery,
-                          self.topology):
+                          self.scrub, self.topology):
             if subsystem is not None:
                 subsystem.on_restart()
 

@@ -162,6 +162,17 @@ class EWOULDCONFLICT(FsError):
     errno = "EWOULDCONFLICT"
 
 
+class EWRITELOST(FsError):
+    """Commit refused: the storage site received fewer one-way page
+    writes than the using site shipped (a lost write closed the circuit,
+    and the commit reopened it).  The SS drops its staged state before
+    raising, so the refusal is always retryable: the using site replays
+    its retained page images and commits again.
+    """
+
+    errno = "EWRITELOST"
+
+
 class EXDEV(FsError):
     errno = "EXDEV"
 

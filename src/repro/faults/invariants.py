@@ -57,8 +57,8 @@ class InvariantChecker:
         report = fsck(self.cluster)
         out: List[Violation] = []
         for category in ("orphan_inodes", "dangling_entries",
-                         "placement_errors", "unflagged_conflicts",
-                         "nlink_errors"):
+                         "placement_errors", "content_mismatch",
+                         "unflagged_conflicts", "nlink_errors"):
             for item in getattr(report, category):
                 out.append(self._make(f"fsck:{category}", repr(item)))
         return out

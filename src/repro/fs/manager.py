@@ -34,8 +34,8 @@ import itertools
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.errors import (EBADF, EBUSY, ECONFLICT, EINVAL, EIO, ENOENT,
-                          ESTALE, EWOULDCONFLICT, FsError, NetworkError,
-                          SiteDown)
+                          ESTALE, EWOULDCONFLICT, EWRITELOST, FsError,
+                          NetworkError, SiteDown)
 from repro.fs.handles import CssEntry, SsOpen, UsHandle
 from repro.fs.ledger import IdempotencyLedger
 from repro.fs.mount import MountTable
@@ -103,6 +103,7 @@ class FsManager(PathMixin, NamespaceMixin):
         reg("fs.close", self.h_close)
         reg("fs.close_unsync", self.h_close_unsync)
         reg("fs.css_ss_close", self.h_css_ss_close)
+        reg("fs.validate_open", self.h_validate_open)
         reg("fs.notify", self.h_notify)
         reg("fs.invalidate", self.h_invalidate)
         reg("fs.create_file", self.h_create_file)
@@ -114,10 +115,12 @@ class FsManager(PathMixin, NamespaceMixin):
         reg("fs.pull_read_range", self.h_pull_read_range)
         reg("fs.dir_version", self.h_dir_version)
         reg("fs.pack_inventory", self.h_pack_inventory)
+        reg("fs.scrub_digest", self.h_scrub_digest)
         reg("fs.css_rebuild", self.h_css_rebuild)
         reg("fs.invalidate_file", self.h_invalidate_file)
         reg("fs.install_merged", self.h_install_merged)
         reg("fs.mark_conflict", self.h_mark_conflict)
+        reg("fs.patch_nlink", self.h_patch_nlink)
         reg("fs.reap", self.h_reap)
         reg("fs.walk_path", self.h_walk_path)
         reg("fs.scrub_orphan", self.h_scrub_orphan)
@@ -731,39 +734,49 @@ class FsManager(PathMixin, NamespaceMixin):
                 replacement.attrs["storage_sites"]
             handle.last_page = -2
             handle.run_len = 0
-            handle.pages_sent = 0
-            handle.pending_writes = {}
-            handle.pending_size = 0
-            if handle.staged_truncate:
-                if handle.ss_site == self.sid:
-                    yield from self._ss_truncate(self.ss[handle.gfile])
-                else:
-                    yield from self.site.rpc(handle.ss_site, "fs.truncate",
-                                             {"gfile": handle.gfile})
-            if handle.staged_attrs:
-                if handle.ss_site == self.sid:
-                    self.ss[handle.gfile].shadow.set_attrs(
-                        **handle.staged_attrs)
-                else:
-                    yield from self.site.rpc(
-                        handle.ss_site, "fs.set_attrs",
-                        {"gfile": handle.gfile,
-                         "patch": dict(handle.staged_attrs)})
-            staged = dict(handle.staged_pages)
-            for page in sorted(staged):
-                yield from self._put_page(handle, page, staged[page],
-                                          handle.size)
+            staged = yield from self._replay_staged(handle)
             if tracer is not None and tracer.enabled:
                 tracer.event_on(tracer.current_ctx(),
                                 "write_failover_complete",
                                 {"gfile": list(handle.gfile),
                                  "failed_ss": failed_ss,
                                  "new_ss": handle.ss_site,
-                                 "restaged": len(staged)})
+                                 "restaged": staged})
         finally:
             handle.failover_busy = None
             busy.resolve(None)
         return None
+
+    def _replay_staged(self, handle: UsHandle) -> Generator:
+        """Replay the open's uncommitted operations against its (possibly
+        re-homed) SS in protocol order: truncate first, then attribute
+        patches, then every retained page image.  Used after a write
+        failover and after a commit refused for lost page writes — in both
+        cases the SS holds none of the staged state any more.  Returns the
+        replayed page count."""
+        handle.pages_sent = 0
+        handle.pending_writes = {}
+        handle.pending_size = 0
+        if handle.staged_truncate:
+            if handle.ss_site == self.sid:
+                yield from self._ss_truncate(self.ss[handle.gfile])
+            else:
+                yield from self.site.rpc(handle.ss_site, "fs.truncate",
+                                         {"gfile": handle.gfile})
+        if handle.staged_attrs:
+            if handle.ss_site == self.sid:
+                self.ss[handle.gfile].shadow.set_attrs(
+                    **handle.staged_attrs)
+            else:
+                yield from self.site.rpc(
+                    handle.ss_site, "fs.set_attrs",
+                    {"gfile": handle.gfile,
+                     "patch": dict(handle.staged_attrs)})
+        staged = dict(handle.staged_pages)
+        for page in sorted(staged):
+            yield from self._put_page(handle, page, staged[page],
+                                      handle.size)
+        return len(staged)
 
     def _read_rpc(self, handle: UsHandle, op: str, payload: dict) -> Generator:
         """Supervised read-path RPC to the handle's storage site.
@@ -1205,6 +1218,10 @@ class FsManager(PathMixin, NamespaceMixin):
         yield from self.site.oneway(handle.ss_site, "fs.write_page", {
             "gfile": gfile, "page": page, "data": data, "size": new_size,
         })
+        # Sender-side delivery accounting, mirroring the batched path: the
+        # commit carries this count so a page lost to a closed circuit
+        # fails the commit instead of silently committing a hole.
+        handle.pages_sent += 1
 
     def _flush_writes(self, handle: UsHandle) -> Generator:
         """Ship the handle's staged pages to its remote SS in one-way
@@ -1509,6 +1526,13 @@ class FsManager(PathMixin, NamespaceMixin):
             # circuit fails the commit instead of half-applying.
             yield from self._flush_writes(handle)
             payload["expected_pages"] = handle.pages_sent
+        elif cost.exactly_once_writes:
+            # The per-page protocol's writes are one-way with no delivery
+            # guarantee either; the same commit guard applies.  The count
+            # rides the header (underscore key, excluded from the wire-size
+            # model) so fault-free message timing matches the paper's
+            # protocol exactly.
+            payload["_expected"] = handle.pages_sent
         if not (cost.exactly_once_writes and cost.supervise_remote_ops):
             vv = yield from self.site.rpc(handle.ss_site, "fs.commit",
                                           payload)
@@ -1526,6 +1550,25 @@ class FsManager(PathMixin, NamespaceMixin):
                         target, "fs.commit", payload,
                         timeout=cost.rpc_timeout or None)
                     return vv
+                except EWRITELOST:
+                    # The SS received fewer page writes than we shipped
+                    # (lost one-ways) and dropped its staged state.  Not
+                    # ambiguous — the commit definitively did not apply.
+                    # Replay the retained staged operations and try again.
+                    if handle.closed or \
+                            attempt >= max(2 * cost.rpc_retries, 8):
+                        raise
+                    attempt += 1
+                    self.site.metrics.count("fs.commit_retries")
+                    yield cost.rpc_backoff * (2 ** min(attempt - 1, 4))
+                    if handle.closed:
+                        raise
+                    yield from self._replay_staged(handle)
+                    if cost.batch_writes:
+                        yield from self._flush_writes(handle)
+                        payload["expected_pages"] = handle.pages_sent
+                    else:
+                        payload["_expected"] = handle.pages_sent
                 except (NetworkError, EBADF) as exc:
                     # Budget mirrors the conflict-wait one: with replay
                     # and re-home making retries safe, the commit should
@@ -1555,6 +1598,8 @@ class FsManager(PathMixin, NamespaceMixin):
                     if cost.batch_writes:
                         yield from self._flush_writes(handle)
                         payload["expected_pages"] = handle.pages_sent
+                    else:
+                        payload["_expected"] = handle.pages_sent
                     floor = handle.attrs["version"]
                     for s in sorted(ambiguous):
                         floor = floor.bump(s)
@@ -1594,6 +1639,8 @@ class FsManager(PathMixin, NamespaceMixin):
 
     def _h_commit_body(self, src: int, p: dict) -> Generator:
         expected = p.get("expected_pages")
+        if expected is None:
+            expected = p.get("_expected")
         if expected is not None:
             so = self.ss.get(p["gfile"])
             if so is not None and so.io_error is not None:
@@ -1602,13 +1649,14 @@ class FsManager(PathMixin, NamespaceMixin):
                 # the count mismatch it produced.
                 pass
             elif so is not None and so.pages_received != expected:
-                # A write-behind batch was partially delivered (a lost
-                # one-way fs.write_pages closed the circuit, and this
-                # commit reopened it).  Never half-commit: drop the staged
-                # state and fail the commit back to the US.
+                # One-way page writes were partially delivered (a lost
+                # fs.write_page/fs.write_pages closed the circuit, and
+                # this commit reopened it).  Never half-commit: drop the
+                # staged state and fail the commit back to the US, which
+                # replays its retained page images and retries.
                 received = so.pages_received
                 yield from self._ss_abort(p["gfile"])
-                raise FsError(
+                raise EWRITELOST(
                     f"commit of {p['gfile']} expected {expected} staged "
                     f"page writes, storage site received {received}")
         stamp = p.get("_stamp") if self.cost.exactly_once_writes else None
@@ -1713,6 +1761,13 @@ class FsManager(PathMixin, NamespaceMixin):
                 if attrs["version"].dominates(entry.latest_vv):
                     entry.latest_vv = attrs["version"].copy()
                 entry.storage_sites = list(attrs["storage_sites"])
+        if p.get("_recovery_reply"):
+            # A holder superseded what our recovery sweep pushed: the
+            # sweep's inventory snapshot went stale.  Re-reconcile from
+            # fresh state (and fall through — this site may be behind too).
+            recovery = getattr(self.site, "recovery", None)
+            if recovery is not None:
+                recovery.note_stale_sweep(gfile)
         pack = self.local_pack(gfile[0])
         if pack is None or p["origin"] == self.sid:
             # No pack here, or the commit originated at this very site (the
@@ -1720,7 +1775,31 @@ class FsManager(PathMixin, NamespaceMixin):
             # notifies with origin = the winning site, which must proceed.
             return None
         inode = pack.get_inode(gfile[1])
+        if p.get("_scrub_placement"):
+            # Anti-entropy placement repair: this pack stores data the
+            # inode no longer advertises here.  The normal path below
+            # returns "already current" on an equal version before ever
+            # reaching the replica-drop branch, so the scrub's retire
+            # request is honoured explicitly (and only when the pushed
+            # attributes are at least as new as the local copy).
+            if inode is not None and inode.has_data \
+                    and self.sid not in attrs["storage_sites"] \
+                    and attrs["version"].dominates(inode.version):
+                pack.drop_data(gfile[1])
+                inode.apply_attrs(attrs)
+                inode.has_data = False
+                self.site.cache.invalidate_file(*gfile)
+            return None
         if inode is not None and inode.version.dominates(attrs["version"]):
+            if p.get("_recovery") and inode.version != attrs["version"]:
+                # A recovery sweep pushed a version this copy strictly
+                # supersedes — its inventory raced a commit.  Answer with
+                # our attributes so the sweep re-runs on fresh state;
+                # dropping the stale push silently would strand every
+                # other behind replica until the next membership change.
+                yield from self.site.oneway_quiet(src, "fs.notify", {
+                    "gfile": gfile, "attrs": inode.attrs(), "pages": None,
+                    "origin": self.sid, "_recovery_reply": True})
             return None  # already current
         if attrs["deleted"]:
             yield from self._apply_remote_delete(gfile, attrs)
@@ -1733,6 +1812,17 @@ class FsManager(PathMixin, NamespaceMixin):
             inode.apply_attrs(attrs)
             inode.has_data = False
             self.site.cache.invalidate_file(*gfile)
+            return None
+        if inode is not None and inode.has_data \
+                and not attrs["version"].dominates(inode.version):
+            # Neither copy dominates (a dominant local copy returned
+            # above): normal commit traffic just revealed concurrent
+            # lineages — e.g. a merge installed while a writer was still
+            # in flight.  A pull could only lose one side; hand the file
+            # to recovery for a proper merge instead.
+            recovery = getattr(self.site, "recovery", None)
+            if recovery is not None:
+                recovery.note_divergent_notify(gfile)
             return None
         if inode is not None and inode.has_data:
             # pages=None means "origin did not say what changed": full pull.
@@ -2021,6 +2111,54 @@ class FsManager(PathMixin, NamespaceMixin):
                 so.shadow.abort()
             self.ss.pop(gfile, None)
 
+    def h_validate_open(self, src: int, p: dict) -> Generator:
+        """US side of leaked-handle detection: does this site still hold
+        open handles for the file?"""
+        gfile = tuple(p["gfile"])
+        n = sum(1 for h in self.us.values()
+                if tuple(h.gfile) == gfile and not h.closed)
+        return {"open": n}
+        yield  # pragma: no cover
+
+    def validate_ss_entry(self, gfile: Gfile) -> Generator:
+        """A propagation pull has been deferring on a local SS entry for a
+        long time: verify each registered using site still holds the file
+        open, and drop registrations whose US does not.
+
+        The close protocol tolerates a lost ``fs.close``: the US falls
+        back to releasing the CSS write token directly, so later opens
+        proceed — but the SS's own open entry stays counted, and while it
+        exists every propagation pull into this replica defers.  With
+        unchanged membership nothing else ever collects it (section 5.6
+        cleanup only reaps entries whose US left the partition), so the
+        replica would stay stale forever."""
+        so = self.ss.get(gfile)
+        if so is None:
+            return None
+        for us in sorted(set(list(so.users) + list(so.unsync_users))):
+            if self.ss.get(gfile) is not so:
+                return None   # closed/reaped while we were validating
+            if us == self.sid:
+                alive = any(tuple(h.gfile) == tuple(gfile) and not h.closed
+                            for h in self.us.values())
+            else:
+                try:
+                    reply = yield from self.site.rpc(
+                        us, "fs.validate_open", {"gfile": gfile},
+                        timeout=(self.cost.rpc_timeout or None)
+                        if self.cost.supervise_remote_ops else None)
+                    alive = bool(reply["open"])
+                except (NetworkError, FsError):
+                    continue   # unreachable: membership cleanup owns that
+            if not alive:
+                if so.writer == us and so.shadow.dirty:
+                    so.shadow.abort()
+                    self.site.cache.invalidate_file(*gfile)
+                so.drop_site(us)
+                self.site.metrics.count("fs.ss_leak_repairs")
+        self._maybe_drop_ss(gfile, so)
+        return None
+
     # ------------------------------------------------------------------
     # File creation (section 2.3.7)
     # ------------------------------------------------------------------
@@ -2117,6 +2255,21 @@ class FsManager(PathMixin, NamespaceMixin):
         return None
         yield  # pragma: no cover
 
+    def _check_merge_base(self, gfile: Gfile, inode, base_vv) -> None:
+        """Refuse a merged install whose base snapshot went stale.
+
+        Recovery computed ``base_vv`` from an inventory taken earlier; if
+        this copy has committed past (or diverged from) that snapshot in
+        the meantime, stamping the merge result with ``base_vv.bump()``
+        would reuse a version vector another content already carries —
+        equal vectors, different bytes, undetectable divergence.  The
+        caller retries against a fresh inventory.
+        """
+        if inode is not None and not base_vv.dominates(inode.version):
+            raise ESTALE(
+                f"merge base for {gfile} is stale: local copy at "
+                f"{inode.version}, merge snapshot covered {base_vv}")
+
     def h_install_merged(self, src: int, p: dict) -> Generator:
         """Install a reconciled file version (recovery's write path).
 
@@ -2128,7 +2281,13 @@ class FsManager(PathMixin, NamespaceMixin):
         pack = self.local_pack(gfile[0])
         if pack is None:
             raise ESTALE(f"site {self.sid} holds no pack of fg {gfile[0]}")
+        if gfile in self.ss or self.propagator.is_pulling(gfile):
+            # A writer or a propagation pull is active right now; its
+            # commit would interleave with ours.  Recovery retries with a
+            # fresh inventory once the activity drains.
+            raise EBUSY(f"merge install of {gfile} raced local activity")
         inode = pack.get_inode(gfile[1])
+        self._check_merge_base(gfile, inode, p["base_vv"])
         if inode is None:
             pack.install_inode({
                 "ino": gfile[1], "ftype": p["ftype"], "size": 0,
@@ -2148,6 +2307,14 @@ class FsManager(PathMixin, NamespaceMixin):
                          perms=p["perms"], nlink=p["nlink"],
                          storage_sites=list(p["storage_sites"]),
                          deleted=False, conflict=False, has_data=True)
+        # Page writes yielded above: re-check in the same atomic step as
+        # the commit that nothing moved the file while we staged.
+        try:
+            self._check_merge_base(gfile, pack.get_inode(gfile[1]),
+                                   p["base_vv"])
+        except FsError:
+            shadow.abort()
+            raise
         merged_vv = p["base_vv"].bump(self.sid)
         shadow.commit(new_version=merged_vv, mtime=self.site.sim.now)
         yield from self.site.cpu(self.cost.disk_write)
@@ -2156,6 +2323,22 @@ class FsManager(PathMixin, NamespaceMixin):
         # pages=None: receivers must full-pull (the whole content changed).
         yield from self._after_commit(gfile, attrs, None)
         return attrs
+
+    def h_patch_nlink(self, src: int, p: dict) -> Generator:
+        """Set a file's link count in place, version vector untouched.
+
+        The recovery census repairs conflicted files this way: their
+        divergent copies refuse the locked open/commit repair path, but
+        the live directory entries naming them are unambiguous, and a
+        plain metadata patch (like the conflict flag itself) cannot widen
+        the divergence.
+        """
+        inode = self.local_inode(p["gfile"])
+        if inode is not None and not inode.deleted:
+            inode.nlink = p["nlink"]
+            self.site.cache.invalidate_file(*p["gfile"])
+        return None
+        yield  # pragma: no cover
 
     def h_mark_conflict(self, src: int, p: dict) -> Generator:
         """Flag divergent copies so normal access attempts fail
@@ -2173,6 +2356,29 @@ class FsManager(PathMixin, NamespaceMixin):
             return {}
         yield from self.site.cpu(self.cost.disk_read)
         return pack.inventory()
+
+    def h_scrub_digest(self, src: int, p: dict) -> Generator:
+        """Anti-entropy summary: the pack inventory plus a digest of each
+        data-holding inode's committed content, so the scrub can detect
+        copies whose version vectors agree but whose bytes do not.  The
+        reply is a superset of ``fs.pack_inventory``'s shape — the scrub
+        reuses it wherever recovery expects an inventory."""
+        from repro.fs.scrub import committed_digest
+        pack = self.local_pack(p["gfs"])
+        if pack is None:
+            return {}
+        summary = {}
+        blocks_read = 0
+        for ino, inode in pack.inodes.items():
+            digest = None
+            if inode.has_data and not inode.deleted:
+                digest = committed_digest(pack, ino, self.cost.page_size)
+                blocks_read += max(1, len(inode.pages))
+            summary[ino] = {"attrs": inode.attrs(),
+                            "has_data": inode.has_data,
+                            "digest": digest}
+        yield from self.site.cpu(self.cost.disk_read * max(1, blocks_read))
+        return summary
 
     def h_css_rebuild(self, src: int, p: dict) -> Generator:
         """Report local open-file state so a new CSS can reconstruct its

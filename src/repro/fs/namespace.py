@@ -249,17 +249,18 @@ class NamespaceMixin:
 
     def _remove_object(self, parent: Gfile, name: str,
                        target: Gfile) -> Generator:
-        target_attrs = yield from self._fetch_attrs_anywhere(target)
-        yield from self._dir_modify(
-            parent,
-            lambda view: view.remove(name, target_attrs["version"]))
-        # Open for modification, mark, and commit: the commit ships the
-        # tombstoned inode to every pack and increments the version vector.
+        # Take the target's modification lock BEFORE touching the directory
+        # and hold it across the whole removal.  The background nlink-repair
+        # sweep takes the same lock, so it can never run between the entry
+        # removal and the count decrement and see a half-done unlink.
         # Removal of a conflicted file is always allowed (the split tool
         # relies on it; unlink never reads the data).
         handle = yield from self._open_write_retry(target,
                                                    allow_conflict=True)
         try:
+            yield from self._dir_modify(
+                parent,
+                lambda view: view.remove(name, handle.attrs["version"]))
             nlink = max(0, handle.attrs["nlink"] - 1)
             if nlink == 0:
                 yield from self.set_attrs(handle, nlink=0, deleted=True)
@@ -281,10 +282,14 @@ class NamespaceMixin:
         if parent[0] != gfile[0]:
             raise EXDEV("links cannot cross filegroups")
         check_name(name)
-        yield from self._dir_modify(
-            parent, lambda view: view.insert(name, gfile[1], ftype))
+        # File lock first, then the directory update under it: the repair
+        # sweep recounts references and patches nlink under the same file
+        # lock, so interleaving between the entry insert and the count bump
+        # (which would double-apply the new reference) is impossible.
         handle = yield from self._open_write_retry(gfile)
         try:
+            yield from self._dir_modify(
+                parent, lambda view: view.insert(name, gfile[1], ftype))
             yield from self.set_attrs(handle,
                                       nlink=handle.attrs["nlink"] + 1)
         finally:

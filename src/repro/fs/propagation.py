@@ -33,6 +33,7 @@ _ATTR_FIELDS = ("size", "owner", "perms", "nlink", "ftype",
 
 _MAX_DEFERRALS = 20
 _DEFER_DELAY = 25.0
+_VALIDATE_AFTER = 5   # deferrals before probing for a leaked SS handle
 
 
 @dataclass
@@ -145,6 +146,7 @@ class Propagator:
             self.stats.failed += 1
             self._pulling.discard(req.gfile)
             self._pending.discard(req.gfile)
+            self._retire_placeholder(req.gfile)
 
     def _retry_later(self, req: _Request) -> None:
         """Contact lost mid-pull: the shadow mechanism already left a
@@ -159,11 +161,43 @@ class Propagator:
                                    self.queue.put, req)
         else:
             self._pending.discard(req.gfile)
+            self._retire_placeholder(req.gfile)
+
+    def _retire_placeholder(self, gfile: Gfile) -> None:
+        """A pull permanently given up must not strand an empty-vv
+        placeholder inode.
+
+        A recovery notify can install an inode entry ahead of the data it
+        advertises; if every source then vanishes, the placeholder has no
+        pages, no committed history (empty version vector) and no
+        directory entry pointing at it — fsck counts it as an orphan and
+        an anti-entropy scrub would try to spread it.  Only such
+        never-filled placeholders are retired; any copy with committed
+        history stays, coherent and merely out of date."""
+        fs = self.fs
+        if gfile in fs.ss:
+            return
+        pack = fs.local_pack(gfile[0])
+        inode = pack.get_inode(gfile[1]) if pack else None
+        if inode is None or inode.has_data or inode.pages:
+            return
+        if inode.version.total() != 0:
+            return
+        pack.inodes.pop(gfile[1], None)
+        self.site.cache.invalidate_file(*gfile)
 
     def _defer(self, req: _Request) -> None:
         """The file is busy locally; retry once the activity drains."""
         req.deferrals += 1
         self.stats.deferred += 1
+        if req.deferrals == _VALIDATE_AFTER:
+            # A genuinely active open drains in a couple of delays; one
+            # stuck this long is likely a leaked SS registration (its
+            # fs.close lost in a burst — nothing else collects it while
+            # membership holds).  Ask each registered US whether it still
+            # has the file open and drop the dead registrations.
+            self.site.spawn(self.fs.validate_ss_entry(req.gfile),
+                            name=f"ss-validate:{req.gfile}")
         if req.deferrals <= _MAX_DEFERRALS:
             self.site.sim.schedule(_DEFER_DELAY, self.queue.put, req)
         else:
@@ -297,6 +331,7 @@ class Propagator:
             self.stats.failed += 1
             self._pulling.discard(req.gfile)
             self._pending.discard(req.gfile)
+            self._retire_placeholder(req.gfile)
         return waits[0]
 
 

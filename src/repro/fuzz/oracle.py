@@ -40,8 +40,8 @@ from repro.fuzz.runner import (AMBIGUOUS, FuzzRun, MISSING, NamespaceModel,
 # fsck categories that are always violations.  "orphan_inodes" is off by
 # default (see module docstring); strict oracles can add it back.
 DEFAULT_AUDIT = ("fsck:dangling_entries", "fsck:placement_errors",
-                 "fsck:unflagged_conflicts", "fsck:nlink_errors",
-                 "replica_divergence")
+                 "fsck:content_mismatch", "fsck:unflagged_conflicts",
+                 "fsck:nlink_errors", "replica_divergence")
 
 
 @dataclass

@@ -82,6 +82,11 @@ class FuzzPlan:
     tree_files: int = 2
     file_size: int = 512
     check_after_heal: bool = True
+    # Pinned run digest for committed regression plans: replay compares
+    # the run's actual digest against this and fails on any drift (the
+    # fault interleaving no longer reproduces what the plan was minimised
+    # for).  Optional so legacy plans round-trip unchanged.
+    expect_digest: Optional[str] = None
     ops: List[WorkloadOp] = field(default_factory=list)
     faults: List[FaultEvent] = field(default_factory=list)
 
@@ -113,6 +118,8 @@ class FuzzPlan:
                "faults": [ev.to_dict() for ev in self.faults]}
         if self.root_pack_sites is not None:
             out["root_pack_sites"] = list(self.root_pack_sites)
+        if self.expect_digest is not None:
+            out["expect_digest"] = self.expect_digest
         return out
 
     @classmethod
@@ -126,6 +133,7 @@ class FuzzPlan:
             tree_files=data.get("tree_files", 2),
             file_size=data.get("file_size", 512),
             check_after_heal=data.get("check_after_heal", True),
+            expect_digest=data.get("expect_digest"),
             ops=[WorkloadOp.from_dict(o) for o in data.get("ops", [])],
             faults=[FaultEvent.from_dict(e)
                     for e in data.get("faults", [])])

@@ -46,6 +46,7 @@ class TopologyService:
         self._merge_task = None
         self._partition_task = None
         self._partition_requested = False
+        self._rejoin_requested = False
         # A virtual circuit closed since the last reconciliation: some
         # message — possibly a commit notification — was lost.  The next
         # merge must run filegroup recovery even if the membership tables
@@ -82,6 +83,7 @@ class TopologyService:
         self._merge_task = None
         self._partition_task = None
         self._partition_requested = False
+        self._rejoin_requested = False
 
     def on_restart(self) -> None:
         self.epoch += 1
@@ -93,6 +95,18 @@ class TopologyService:
     def on_circuit_closed(self, peer: int, reason: str) -> None:
         """A virtual circuit failed: the peer must leave the partition."""
         self._lossy = True
+        if reason == "removed from partition":
+            # The peer deliberately reconfigured without us while still able
+            # to deliver the close notification: our membership belief is
+            # stale, not the wire.  Running the partition protocol here can
+            # livelock — successive intersections only poll sites we already
+            # believe in, so a member both halves share keeps answering and
+            # being re-included while the halves exclude each other forever.
+            # Rejoin through the merge protocol instead (section 5.5), which
+            # polls *all* sites and declares a partition from whoever
+            # actually answers.
+            self._schedule_rejoin(peer)
+            return
         if peer not in self.partition_set:
             return
         # React immediately and locally (conservative single-site removal),
@@ -101,6 +115,33 @@ class TopologyService:
             self._partition_requested = True
             self._partition_task = self.site.spawn(
                 self._run_partition(), name=f"partition@{self.sid}")
+
+    def _schedule_rejoin(self, peer: int) -> None:
+        if self._rejoin_requested:
+            return
+        self._rejoin_requested = True
+        self.site.spawn(self._rejoin(peer), name=f"rejoin@{self.sid}")
+
+    def _rejoin(self, peer: int) -> Generator:
+        """Bounded rejoin loop: while the excluding peer stays physically
+        reachable but outside our partition, keep initiating merges — a
+        single attempt's polls can all be eaten by a loss burst, and with
+        every site in a singleton partition no other protocol ever fires
+        again.  Stops as soon as the peer is back in the tables, the
+        moment it becomes genuinely unreachable (the heal-time merge owns
+        that case), or after a handful of attempts (sustained loss; the
+        next close notification re-arms us)."""
+        yield 2.0  # debounce a burst of removal notifications
+        self._rejoin_requested = False
+        for attempt in range(6):
+            if not self.site.up or peer in self.partition_set:
+                return None
+            if not self.site.net.reachable(self.sid, peer):
+                return None
+            if self.stage == self.STAGE_IDLE:
+                self.request_merge()
+            yield self.site.cost.poll_timeout * (attempt + 1)
+        return None
 
     def request_merge(self) -> None:
         if self.stage == self.STAGE_IDLE:
@@ -356,6 +397,10 @@ class TopologyService:
                 if self.site.fs.mount.css_for(gfs) == self.sid and \
                         (lossy or set(info.pack_sites) & gained):
                     self.site.recovery.schedule_filegroup(gfs)
+                    if self.site.scrub is not None:
+                        # Anti-entropy backstop: delayed digest rounds
+                        # catch divergence the one-shot sweep races past.
+                        self.site.scrub.schedule(gfs)
         return None
 
     def _recovery_sweep(self) -> None:
@@ -370,6 +415,8 @@ class TopologyService:
         for gfs in list(mount.groups):
             if mount.css_for(gfs) == self.sid:
                 self.site.recovery.schedule_filegroup(gfs)
+                if self.site.scrub is not None:
+                    self.site.scrub.schedule(gfs)
 
     def _reelect_css(self, members: Set[int]) -> None:
         """Select a synchronization site for each filegroup (section 5.6),

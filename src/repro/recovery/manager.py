@@ -17,6 +17,15 @@ from repro.storage.inode import FileType
 from repro.storage.version_vector import VersionVector, latest
 
 
+def _same_entries(a, b) -> bool:
+    """Entry-set equality, order-independent (merge output is sorted,
+    on-disk copies are not)."""
+    key = lambda e: (e.name, e.ino, e.ftype, e.deleted,
+                     None if e.dvv is None else tuple(sorted(
+                         e.dvv.to_dict().items())))
+    return sorted(map(key, a)) == sorted(map(key, b))
+
+
 class RecoveryStats:
     def __init__(self):
         self.files_examined = 0
@@ -29,6 +38,7 @@ class RecoveryStats:
         self.name_conflicts = 0
         self.nlink_repairs = 0
         self.mails_sent = 0
+        self.retries_scheduled = 0
 
 
 class RecoveryManager:
@@ -191,7 +201,15 @@ class RecoveryManager:
             try:
                 yield from self._reconcile_ino(gfs, ino, inventories)
             except (NetworkError, FsError):
-                pass  # a site vanished mid-recovery; the next merge retries
+                # A site vanished, or an install write failed (EIO) while
+                # the winner was being put in place.  Dropping the file
+                # here would leave its replicas divergent until some
+                # unrelated membership change re-sweeps; instead put it on
+                # the same bounded deferral schedule the writer-active
+                # path uses, with a fresh inventory per attempt.
+                self.stats.retries_scheduled += 1
+                self.pending.setdefault(gfs, set()).add(ino)
+                self._schedule_retry(gfs, ino, attempt=1)
         try:
             yield from self._repair_link_counts(gfs)
         except (NetworkError, FsError):
@@ -203,11 +221,13 @@ class RecoveryManager:
     def _link_census(self, gfs: int) -> Generator:
         """Count live directory references per inode across the filegroup.
 
-        Returns ``(best, refs)`` where ``best`` maps each live inode to
-        its latest ``(site, attrs)`` copy and ``refs`` maps inode to the
-        number of live entries naming it — or None when any directory is
-        unreadable or its copies are in version conflict (a partial
-        census could shrink a correct nlink).
+        Returns ``(best, refs, conflicted)`` where ``best`` maps each live
+        inode to its latest ``(site, attrs)`` copy, ``refs`` maps inode to
+        the number of live entries naming it, and ``conflicted`` maps each
+        version-conflicted regular file to its live ``(site, attrs)``
+        holders — or None when any directory is unreadable or its copies
+        are in version conflict (a partial census could shrink a correct
+        nlink).
         """
         members = self.site.topology.partition_set if self.site.topology \
             else set(self.site.net.site_ids)
@@ -226,6 +246,7 @@ class RecoveryManager:
         for inv in inventories.values():
             all_inos |= set(inv)
         best: Dict[int, Tuple[int, dict]] = {}
+        conflicted: Dict[int, List[Tuple[int, dict]]] = {}
         for ino in all_inos:
             holders = [(s, inv[ino]["attrs"])
                        for s, inv in inventories.items()
@@ -235,10 +256,11 @@ class RecoveryManager:
                 continue
             __, best_vv, conflict = latest(
                 (s, a["version"]) for s, a in live)
-            if conflict:
+            if conflict or any(a["conflict"] for __, a in live):
                 if live[0][1]["ftype"] in (FileType.DIRECTORY,
                                            FileType.HIDDEN_DIR):
                     return None
+                conflicted[ino] = live
                 continue
             best[ino] = next((s, a) for s, a in live
                              if a["version"] == best_vv)
@@ -256,7 +278,7 @@ class RecoveryManager:
                 if entry.deleted or entry.name in (".", ".."):
                     continue
                 refs[entry.ino] = refs.get(entry.ino, 0) + 1
-        return best, refs
+        return best, refs, conflicted
 
     def _repair_link_counts(self, gfs: int) -> Generator:
         """Post-sweep nlink repair.
@@ -272,7 +294,7 @@ class RecoveryManager:
         census = yield from self._link_census(gfs)
         if census is None:
             return None
-        best, refs = census
+        best, refs, conflicted = census
         for ino in sorted(best):
             s, attrs = best[ino]
             if attrs["ftype"] is not FileType.REGULAR or attrs["conflict"]:
@@ -284,6 +306,30 @@ class RecoveryManager:
                 yield from self._repair_one_nlink(gfs, ino)
             except (NetworkError, FsError):
                 pass
+        for ino in sorted(conflicted):
+            # A conflicted file cannot go through the locked open/commit
+            # repair path (normal opens refuse, and a commit would stamp a
+            # new version over the divergent copies).  Its live names are
+            # still real: directory merges union inserts and undo deletes
+            # regardless of the file's own conflict.  Patch the count in
+            # place on every holder, version vectors untouched, the same
+            # way the conflict flag itself is applied.
+            if any(a["ftype"] is not FileType.REGULAR
+                   for __, a in conflicted[ino]):
+                continue
+            n = refs.get(ino, 0)
+            if n == 0:
+                continue
+            for s, attrs in conflicted[ino]:
+                if attrs["nlink"] == n:
+                    continue
+                self.stats.nlink_repairs += 1
+                payload = {"gfile": (gfs, ino), "nlink": n}
+                if s == self.sid:
+                    yield from self.site.fs.h_patch_nlink(self.sid, payload)
+                else:
+                    yield from self.site.oneway_quiet(
+                        s, "fs.patch_nlink", payload)
         return None
 
     def _repair_one_nlink(self, gfs: int, ino: int) -> Generator:
@@ -300,7 +346,7 @@ class RecoveryManager:
             census = yield from self._link_census(gfs)
             if census is None:
                 return None
-            __, refs = census
+            __, refs, __ = census
             n = refs.get(ino, 0)
             if n and n != handle.attrs["nlink"]:
                 self.stats.nlink_repairs += 1
@@ -324,12 +370,7 @@ class RecoveryManager:
             # these operations to continue to completion, and only then
             # perform file system conflict analysis" (section 5.6).
             self.pending.setdefault(gfs, set()).add(ino)
-
-            def _retry():
-                self.site.spawn(self._retry_ino(gfs, ino, attempt + 1),
-                                name=f"recovery-retry:{gfs}:{ino}")
-
-            self.site.sim.schedule(30.0 * (attempt + 1), _retry)
+            self._schedule_retry(gfs, ino, attempt + 1)
             return None
         holders: List[Tuple[int, dict]] = []
         for s, inv in inventories.items():
@@ -370,6 +411,39 @@ class RecoveryManager:
             yield from self._mark_conflict(gfile, holders)
         return None
 
+    def note_stale_sweep(self, gfile: Gfile) -> None:
+        """A holder answered a sweep notify with a strictly newer version:
+        the sweep's inventory snapshot went stale mid-run (a commit landed
+        between the inventory and the propagation).  Re-reconcile the file
+        against fresh inventories so every behind copy learns the real
+        best, not just the site the answer reached."""
+        self._note_reconcile_needed(gfile)
+
+    def note_divergent_notify(self, gfile: Gfile) -> None:
+        """A commit notify carried a version concurrent with the local
+        copy: two lineages exist (e.g. a merge result raced a writer that
+        was already in flight when the merge ran).  Neither side can be
+        pulled without losing the other, so re-run full reconciliation —
+        the merge machinery folds both lineages into one dominating
+        version, or marks the file in conflict."""
+        self._note_reconcile_needed(gfile)
+
+    def _note_reconcile_needed(self, gfile: Gfile) -> None:
+        gfs, ino = gfile
+        if ino in self.pending.get(gfs, set()):
+            return                       # a deferred reconcile is queued
+        self.stats.retries_scheduled += 1
+        self.pending.setdefault(gfs, set()).add(ino)
+        self._schedule_retry(gfs, ino, attempt=1)
+
+    def _schedule_retry(self, gfs: int, ino: int, attempt: int) -> None:
+        """Queue a deferred single-file reconciliation attempt."""
+        def _retry():
+            self.site.spawn(self._retry_ino(gfs, ino, attempt),
+                            name=f"recovery-retry:{gfs}:{ino}")
+
+        self.site.sim.schedule(30.0 * attempt, _retry)
+
     def _retry_ino(self, gfs: int, ino: int, attempt: int) -> Generator:
         """Re-inventory one file and reconcile it (deferred recovery)."""
         members = self.site.topology.partition_set if self.site.topology \
@@ -384,8 +458,15 @@ class RecoveryManager:
             except (NetworkError, FsError):
                 continue
         self.pending.get(gfs, set()).discard(ino)
-        yield from self._reconcile_ino(gfs, ino, inventories,
-                                       attempt=attempt)
+        try:
+            yield from self._reconcile_ino(gfs, ino, inventories,
+                                           attempt=attempt)
+        except (NetworkError, FsError):
+            if attempt < 10:
+                self.stats.retries_scheduled += 1
+                self.pending.setdefault(gfs, set()).add(ino)
+                self._schedule_retry(gfs, ino, attempt + 1)
+            return None
         # A deferred directory merge can resurrect entries after the
         # sweep's link-count pass already ran; recount once more.
         try:
@@ -410,8 +491,13 @@ class RecoveryManager:
         if not behind:
             return None
         self.stats.propagations_scheduled += len(behind)
+        # _recovery marks a sweep-driven notify (header-riding, zero wire
+        # size): a receiver whose copy strictly supersedes win_attrs
+        # answers with its own attributes instead of silently dropping the
+        # stale push, so a commit that raced the inventory snapshot still
+        # converges (note_stale_sweep below).
         payload = {"gfile": gfile, "attrs": win_attrs, "pages": None,
-                   "origin": win_site}
+                   "origin": win_site, "_recovery": True}
         for s in sorted(behind):
             yield from self.site.oneway_quiet(s, "fs.notify", payload)
         return None
@@ -438,7 +524,8 @@ class RecoveryManager:
 
     def _merge_directory(self, gfile: Gfile,
                          holders: List[Tuple[int, dict]],
-                         inventories: Dict[int, dict]) -> Generator:
+                         inventories: Dict[int, dict],
+                         force: bool = False) -> Generator:
         copies = []
         owners = {}
         for s, attrs in holders:
@@ -485,6 +572,23 @@ class RecoveryManager:
         merged, report = merge_directories(copies, file_version)
         self.stats.dir_merges += 1
         self.stats.name_conflicts += len(report.name_conflicts)
+        # When one copy dominates and the merge changed nothing relative to
+        # it (no rule-d resurrection, no name aliasing), installing would
+        # only mint a gratuitous new lineage — one that races any writer
+        # already in flight against the dominant copy.  Propagate instead.
+        # ``force`` (the scrub's equal-vv digest-skew repair) skips the
+        # shortcut: the copies' bytes differ even though their vectors
+        # agree, so only a fresh dominating install re-unifies them.
+        __, best_vv, conflict = latest(
+            (s, a["version"]) for s, a in holders)
+        if not conflict and not force:
+            for (s, attrs), entries in zip(holders, copies):
+                if attrs["version"] != best_vv:
+                    continue
+                if _same_entries(merged, entries):
+                    yield from self._propagate_best(gfile, holders, best_vv)
+                    return None
+                break
         yield from self._install_winner(gfile, holders, holders,
                                         content=encode_entries(merged))
         for name, ino_a, ino_b in report.name_conflicts:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fs.directory import decode_entries
+from repro.fs.scrub import committed_digest
 from repro.storage.inode import FileType
 from repro.storage.pack import ROOT_INO
 from repro.storage.version_vector import latest
@@ -41,6 +42,10 @@ class FsckReport:
     dangling_entries: List[Tuple[Gfile, str, int]] = field(
         default_factory=list)
     placement_errors: List[Tuple[Gfile, str]] = field(default_factory=list)
+    # Equal version vectors, different committed bytes (and not
+    # conflict-flagged): silent divergence the vv comparison cannot see.
+    # Each entry carries the per-site digest pairing for the report.
+    content_mismatch: List[Tuple[Gfile, str]] = field(default_factory=list)
     version_conflicts: List[Gfile] = field(default_factory=list)
     unflagged_conflicts: List[Gfile] = field(default_factory=list)
     nlink_errors: List[Tuple[Gfile, int, int]] = field(default_factory=list)
@@ -48,8 +53,8 @@ class FsckReport:
     @property
     def clean(self) -> bool:
         return not (self.orphan_inodes or self.dangling_entries
-                    or self.placement_errors or self.unflagged_conflicts
-                    or self.nlink_errors)
+                    or self.placement_errors or self.content_mismatch
+                    or self.unflagged_conflicts or self.nlink_errors)
 
     def summary(self) -> str:
         lines = [
@@ -58,6 +63,7 @@ class FsckReport:
             f"orphan inodes:      {len(self.orphan_inodes)}",
             f"dangling entries:   {len(self.dangling_entries)}",
             f"placement errors:   {len(self.placement_errors)}",
+            f"content mismatches: {len(self.content_mismatch)}",
             f"version conflicts:  {len(self.version_conflicts)} "
             f"({len(self.unflagged_conflicts)} unflagged)",
             f"nlink errors:       {len(self.nlink_errors)}",
@@ -164,10 +170,25 @@ def _check_filegroup(cluster, gfs: int, report: FsckReport) -> None:
                 report.unflagged_conflicts.append((gfs, ino))
         # Replica placement: advertised sites must store the data.
         advertised = set(datacopies[0][1].storage_sites)
+        actual = {s for s, __ in datacopies}
         for s in advertised:
             if s in packs and not packs[s].stores(ino):
                 report.placement_errors.append(
-                    ((gfs, ino), f"site {s} advertised but stores nothing"))
+                    ((gfs, ino), f"site {s}: advertised "
+                     f"{sorted(advertised)}, stores nothing "
+                     f"(data actually at {sorted(actual)})"))
+        # Content audit: copies whose version vectors agree must hold
+        # identical committed bytes unless conflict-flagged (a flagged
+        # file legitimately parks divergent copies for the user).
+        if not conflict and not any(i.conflict for __, i in datacopies):
+            best = datacopies[0][1].version
+            peers = [(s, i) for s, i in datacopies if i.version == best]
+            digests = {s: committed_digest(packs[s], ino)
+                       for s, __ in peers if s in packs}
+            if len(set(digests.values())) > 1:
+                pairing = ", ".join(f"site {s}: {d}"
+                                    for s, d in sorted(digests.items()))
+                report.content_mismatch.append(((gfs, ino), pairing))
 
     # Walk directories for reachability and link counts.
     for ino in sorted(live):

@@ -34,10 +34,15 @@ FLAG_COMBOS = [
     # proves the whole stamping/ledger machinery is invisible on
     # fault-free runs — byte-identical post-state with it disabled.
     {"exactly_once_writes": False},
+    # Same discipline for the anti-entropy scrub (on by default): its
+    # sweeps only trigger from the merge procedure and a clean sweep
+    # repairs nothing, so disabling it must change no committed byte —
+    # including across the heal scenarios, where sweeps actually run.
+    {"scrub_enabled": False},
 ]
 
 COMBO_IDS = ["off", "batch_writes", "pull_manifest", "both",
-             "no_exactly_once"]
+             "no_exactly_once", "no_scrub"]
 
 
 def poststate(cluster):
@@ -368,8 +373,20 @@ class TestMidBatchCircuitClose:
 
     def test_commit_reports_missing_pages(self):
         """The guard itself: fewer pages received than the commit claims
-        were sent raises instead of committing."""
-        cluster, old, __, failed = self._run_lost_flush("fs.write_pages")
+        were sent raises EWRITELOST at the storage site.  With
+        exactly-once writes on (the default) the using site replays its
+        retained staged pages and the retried commit completes — no
+        half-commit either way."""
+        cluster, __, new, failed = self._run_lost_flush("fs.write_pages")
+        assert not failed, "replayed commit should complete"
+        assert cluster.shell(0).read_file("/victim") == new
+        assert cluster.site(1).metrics.counters["fs.commit_retries"] >= 1
+
+    def test_commit_fails_without_replay(self):
+        """Flag-off leg: without the exactly-once machinery the same lost
+        chunk surfaces as a failed commit with the old content intact."""
+        cluster, old, __, failed = self._run_lost_flush(
+            "fs.write_pages", exactly_once_writes=False)
         assert failed, "commit must fail when a flush chunk was lost"
         assert cluster.shell(0).read_file("/victim") == old
 

@@ -48,9 +48,18 @@ def test_regression_plan_round_trips(path):
 @pytest.mark.parametrize("path", CORPUS,
                          ids=[os.path.basename(p) for p in CORPUS])
 def test_regression_plan_replays_clean(path):
-    result = run_plan(_load(path))
+    plan = _load(path)
+    result = run_plan(plan)
     assert result.ok, (
         f"{os.path.basename(path)} regressed:\n" + result.report())
+    if plan.expect_digest is not None:
+        # The pinned digest guards the plan's *regression value*: if the
+        # interleaving drifts, the replay may pass without exercising the
+        # bug it was minimised for.  Re-shrink and re-pin when this fires.
+        assert result.digest() == plan.expect_digest, (
+            f"{os.path.basename(path)} no longer reproduces its recorded "
+            f"interleaving (digest {result.digest()} != pinned "
+            f"{plan.expect_digest})")
 
 
 def test_regression_replay_is_deterministic():

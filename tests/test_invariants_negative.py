@@ -99,6 +99,33 @@ def test_forged_dangling_entry(run):
     assert "fsck:dangling_entries" in kinds(run)
 
 
+def test_forged_content_skew_is_fsck_content_mismatch(run):
+    """Equal version vectors, different committed bytes: fsck's content
+    audit (scrub subsystem satellite) must flag what vv comparison cannot
+    see."""
+    packs, gfs, ino = data_packs(run.cluster)
+    inode = packs[0].inodes[ino]
+    blockno = inode.pages[0]
+    packs[0].blocks[blockno] = bytes(
+        b ^ 0xFF for b in packs[0].blocks[blockno])
+    found = kinds(run)
+    assert "fsck:content_mismatch" in found
+    assert "replica_divergence" not in found   # vvs still equal
+
+
+def test_forged_missing_advertised_copy_is_placement_error(run):
+    """An inode advertising a storage site that holds no data: the
+    placement audit reports the site and the expected-vs-actual sets."""
+    packs, gfs, ino = data_packs(run.cluster)
+    packs[0].inodes[ino].has_data = False
+    assert "fsck:placement_errors" in kinds(run)
+    from repro.tools.fsck import fsck
+    report = fsck(run.cluster)
+    (gfile, detail), = report.placement_errors
+    assert gfile == (gfs, ino)
+    assert "site 0" in detail and "advertised" in detail
+
+
 def test_forged_orphan_reported_but_not_audited_by_default(run):
     """An inode no directory references: the checker reports it, but the
     default oracle audit excludes it (transient orphans are normal in

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Sequence
 
 from repro import LocusCluster
 from repro.net.stats import StatsWindow
-from repro.obs.histogram import merge_snapshots
+from repro.obs.histogram import merge_windows
 
 
 def run_experiment(benchmark, fn: Callable[[], Dict], rounds: int = 1):
@@ -78,18 +78,10 @@ class Measure:
 
     def latency(self, prefix: str = "") -> Dict[str, Dict]:
         """Cluster-wide p50/p95/p99 over the measurement window, merged
-        across sites from the per-site MetricsRegistry histograms."""
+        across sites via the public ``repro.obs.histogram`` API."""
         diffs = [self.reg0[s.site_id].diff(s.metrics.snapshot())
                  for s in self.cluster.sites]
-        names = sorted({name for d in diffs for name in d.hists
-                        if name.startswith(prefix)})
-        out: Dict[str, Dict] = {}
-        for name in names:
-            merged = merge_snapshots([d.hists[name] for d in diffs
-                                      if name in d.hists])
-            if merged.count:
-                out[name] = merged.to_dict()
-        return out
+        return merge_windows([d.hists for d in diffs], prefix)
 
     def done(self) -> Dict:
         wall = time.perf_counter() - self.wall0

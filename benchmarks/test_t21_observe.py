@@ -1,0 +1,326 @@
+"""T21 — load accounting is free; blame tables and detection latency.
+
+Three claims behind the ISSUE-10 measurement layer (the prerequisite for
+handing the CSS role off on load — see docs/OBSERVABILITY.md):
+
+(a) **Accounting is free.**  Like tracing (T17), the load accountants,
+    hotness sketches and the convergence monitor are observational only:
+    the T14 remote-walk and the T16 fault storm must report *identical*
+    virtual time and per-type message counts with
+    ``CostModel.load_accounting`` on and off.  The acceptance bound is a
+    <5% virtual-time delta; the expected delta is exactly zero.
+
+(b) **The blame table accounts for (almost) everything.**  The
+    critical-path analyzer must attribute >=95% of total syscall latency
+    on the T14 walk into its queue / wire / remote-service / local
+    segments; the decomposition covers the tree by construction, so the
+    expected coverage is exactly 1.0.
+
+(c) **Detection latency is measurable.**  For a planted divergence —
+    commit notifies dropped by the fault injector, leaving stale
+    replicas — the scrub sweep must record a positive divergence
+    detection latency (fault vtime → scrub classification vtime) in the
+    convergence monitor, and the repair must follow.
+
+``python benchmarks/test_t21_observe.py`` merges a ``t21`` section into
+BENCH_observe.json (the T17 sections are left as-is).
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro import LocusCluster
+from repro.config import CostModel
+from repro.errors import LocusError
+from repro.faults import FaultPlan
+from repro.obs.critpath import analyze
+from repro.obs.load import format_top, load_records
+from _harness import Measure, print_table, run_experiment
+
+DEPTH = 3
+FANOUT = 60
+REPEATS = 20
+
+STORM_SEED = 11
+PAGE = 1024
+CONTENT = bytes((i * 13) % 256 for i in range(4 * PAGE))
+READS = 150
+READ_INTERVAL = 15.0
+WRITES = 30
+WRITE_INTERVAL = 150.0
+
+
+# -- scenario (a): T14 walk and T16 storm, accounting on vs off ------------
+
+def _walk_cluster(load_accounting):
+    cost = CostModel().with_overrides(load_accounting=load_accounting)
+    cluster = LocusCluster(n_sites=2, seed=23, root_pack_sites=[0],
+                           cost=cost)
+    sh0 = cluster.shell(0)
+    path = ""
+    for d in range(DEPTH):
+        path += f"/dir{d}"
+        sh0.mkdir(path)
+        for i in range(FANOUT):
+            sh0.write_file(f"{path}/entry-{i:04d}", b"")
+    leaf = path + "/leaf"
+    sh0.write_file(leaf, b"L" * 2048)
+    cluster.settle()
+    sh1 = cluster.shell(1)
+    sh1.stat(leaf)
+    m = Measure(cluster)
+    for __ in range(REPEATS):
+        sh1.stat(leaf)
+    out = m.done()
+    return cluster, out
+
+
+def _walk_metrics(load_accounting):
+    __, out = _walk_cluster(load_accounting)
+    return out
+
+
+def _storm_metrics(load_accounting, seed=STORM_SEED):
+    cost = CostModel().with_overrides(load_accounting=load_accounting)
+    cluster = LocusCluster(n_sites=3, seed=seed, root_pack_sites=[1, 2],
+                           cost=cost)
+    setup = cluster.shell(0)
+    setup.setcopies(2)
+    setup.write_file("/hot", CONTENT)
+    setup.write_file("/w", b"w" * 256)
+    cluster.settle()
+    t0 = cluster.sim.now
+    cluster.inject(FaultPlan(seed=seed, name="t21-storm")
+                   .crash(t0 + 300.0, site=1)
+                   .loss_burst(t0 + 1200.0, rate=0.08, duration=300.0)
+                   .restart(t0 + 2000.0, site=1)
+                   .heal(t0 + 2600.0)
+                   .crash(t0 + 3200.0, site=2)
+                   .latency_spike(t0 + 3600.0, delta=5.0, duration=400.0,
+                                  src=0, dst=1)
+                   .restart(t0 + 4800.0, site=2)
+                   .heal(t0 + 5400.0)
+                   .drop("fs.read_page", count=2, after_messages=600))
+
+    api = cluster.shell(0).api
+
+    def reader():
+        for __ in range(READS):
+            try:
+                yield from api.read_file("/hot")
+            except LocusError:
+                pass
+            yield READ_INTERVAL
+
+    def writer():
+        for i in range(WRITES):
+            try:
+                yield from api.write_file("/w", bytes([i % 251]) * 256)
+            except LocusError:
+                pass
+            yield WRITE_INTERVAL
+
+    m = Measure(cluster)
+    cluster.spawn(0, reader())
+    cluster.spawn(0, writer())
+    cluster.settle(max_time=40_000.0)
+    out = m.done()
+    out["load_records"] = len(load_records(cluster))
+    monitor = cluster.convergence
+    out["convergence_events"] = (len(monitor.events)
+                                 if monitor.enabled else 0)
+    return out
+
+
+# -- scenario (b): blame coverage on the walk ------------------------------
+
+def _blame_metrics():
+    cluster, walk = _walk_cluster(True)
+    report = analyze(cluster.tracer)
+    return {
+        "vtime": walk["vtime"],
+        "roots": report.root_count,
+        "coverage": round(report.coverage, 6),
+        "segment_totals": {k: round(v, 6)
+                           for k, v in report.segment_totals.items()},
+        "syscalls": {name: blame.to_dict()
+                     for name, blame in sorted(report.syscalls.items())},
+    }
+
+
+# -- scenario (c): planted divergence, detection latency -------------------
+
+def _detection_metrics(seed=31):
+    cluster = LocusCluster(n_sites=3, seed=seed, cost=CostModel())
+    sh = cluster.shell(0)
+    sh.setcopies(3)
+    sh.write_file("/f", b"base content " * 40)
+    cluster.settle()
+    # The injector stamps the fault vtime; the dropped commit notifies
+    # leave the other replicas stale.
+    t0 = cluster.sim.now
+    cluster.inject(FaultPlan(seed=seed, name="t21-divergence")
+                   .drop("fs.notify", count=2, at=t0 + 10.0))
+    sh.write_file("/f", b"newer content " * 40)
+    cluster.settle()
+    gfs = 0
+    css = cluster.site(0).fs.mount.css_for(gfs)
+    cluster.site(css).scrub.schedule(gfs)
+    cluster.settle()
+    monitor = cluster.convergence
+    summary = monitor.summary()
+    latencies = [e["latency"] for e in monitor.detections()
+                 if e["latency"] is not None]
+    return {
+        "vtime": round(cluster.sim.now, 2),
+        "faults": summary["faults"],
+        "detections": summary["detections"],
+        "repairs": summary["repairs"],
+        "detection_latency": summary["detection_latency"],
+        "min_latency": min(latencies) if latencies else None,
+    }
+
+
+# -- pytest entry points ---------------------------------------------------
+
+@pytest.mark.benchmark(group="T21")
+def test_t21_accounting_parity_walk(benchmark):
+    """T14 walk: load accounting on/off changes nothing measurable."""
+    def _ab():
+        on = _walk_metrics(True)
+        off = _walk_metrics(False)
+        return {"on_vtime": on["vtime"], "off_vtime": off["vtime"],
+                "on_msgs": on["messages"], "off_msgs": off["messages"],
+                "on_by_type": on["by_type"], "off_by_type": off["by_type"]}
+    out = run_experiment(benchmark, _ab)
+    print_table(
+        f"T21: {REPEATS} remote walks, load accounting on vs off",
+        ["config", "vtime", "messages"],
+        [["accounting on", out["on_vtime"], out["on_msgs"]],
+         ["accounting off", out["off_vtime"], out["off_msgs"]]])
+    delta = abs(out["on_vtime"] - out["off_vtime"]) / out["off_vtime"]
+    assert delta < 0.05, delta
+    # Expected: exactly zero — accounting is purely observational.
+    assert out["on_vtime"] == out["off_vtime"]
+    assert out["on_by_type"] == out["off_by_type"]
+
+
+@pytest.mark.benchmark(group="T21")
+def test_t21_accounting_parity_storm(benchmark):
+    """T16 storm: zero vtime/message delta even under faults."""
+    def _ab():
+        on = _storm_metrics(True)
+        off = _storm_metrics(False)
+        return {"on_vtime": on["vtime"], "off_vtime": off["vtime"],
+                "on_by_type": on["by_type"], "off_by_type": off["by_type"],
+                "on_records": on["load_records"],
+                "off_records": off["load_records"],
+                "on_events": on["convergence_events"]}
+    out = run_experiment(benchmark, _ab)
+    print_table(
+        f"T21: storm seed {STORM_SEED}, load accounting on vs off",
+        ["config", "vtime", "load records"],
+        [["accounting on", out["on_vtime"], out["on_records"]],
+         ["accounting off", out["off_vtime"], out["off_records"]]])
+    assert out["on_vtime"] == out["off_vtime"]
+    assert out["on_by_type"] == out["off_by_type"]
+    # On: the export stream gains load/detection records; off: none.
+    assert out["on_records"] > 0
+    assert out["off_records"] == 0
+    # The storm's recovery repairs show up as convergence events.
+    assert out["on_events"] > 0
+
+
+@pytest.mark.benchmark(group="T21")
+def test_t21_blame_coverage(benchmark):
+    """>=95% of walk syscall latency lands in a named segment."""
+    out = run_experiment(benchmark, _blame_metrics)
+    print_table(
+        "T21: walk blame decomposition",
+        ["segment", "vtime"],
+        sorted(out["segment_totals"].items(), key=lambda kv: -kv[1]))
+    assert out["roots"] > 0
+    assert out["coverage"] >= 0.95
+    # stat is remote: the wire + remote service must dominate local work.
+    totals = out["segment_totals"]
+    assert totals["wire"] + totals["remote_service"] > 0
+
+
+@pytest.mark.benchmark(group="T21")
+def test_t21_detection_latency(benchmark):
+    """Planted divergence: scrub detection latency is recorded."""
+    out = run_experiment(benchmark, _detection_metrics)
+    print_table(
+        "T21: planted divergence (dropped notifies) detection",
+        ["faults", "detections", "repairs", "latency p50"],
+        [[out["faults"], out["detections"], out["repairs"],
+          out["detection_latency"]["p50"]]])
+    assert out["faults"] > 0
+    assert out["detections"] > 0
+    assert out["repairs"] > 0
+    assert out["detection_latency"]["count"] > 0
+    assert out["min_latency"] is not None and out["min_latency"] > 0
+
+
+@pytest.mark.benchmark(group="T21")
+def test_t21_top_report_deterministic(benchmark):
+    """The ``cli top`` report is byte-identical for the same seed."""
+    from repro.cli import _top_workload
+
+    def _twice():
+        a, __ = _top_workload(seed=5, sites=3, ops=40)
+        b, __ = _top_workload(seed=5, sites=3, ops=40)
+        return {"equal": format_top(a) == format_top(b),
+                "lines": len(format_top(a).splitlines())}
+    out = run_experiment(benchmark, _twice)
+    assert out["equal"]
+    assert out["lines"] > 10
+
+
+# -- baseline refresh ------------------------------------------------------
+
+def _experiment():
+    walk_on = _walk_metrics(True)
+    walk_off = _walk_metrics(False)
+    storm_on = _storm_metrics(True)
+    storm_off = _storm_metrics(False)
+    return {
+        "t14_walk_parity": {
+            "on": {k: walk_on[k] for k in ("vtime", "messages")},
+            "off": {k: walk_off[k] for k in ("vtime", "messages")},
+            "vtime_delta": abs(walk_on["vtime"] - walk_off["vtime"]),
+            "message_delta": walk_on["messages"] - walk_off["messages"],
+        },
+        "t16_storm_parity": {
+            "on": {k: storm_on[k] for k in ("vtime", "messages")},
+            "off": {k: storm_off[k] for k in ("vtime", "messages")},
+            "vtime_delta": abs(storm_on["vtime"] - storm_off["vtime"]),
+            "message_delta": storm_on["messages"] - storm_off["messages"],
+            "load_records": storm_on["load_records"],
+            "convergence_events": storm_on["convergence_events"],
+        },
+        "blame": _blame_metrics(),
+        "detection": _detection_metrics(),
+    }
+
+
+if __name__ == "__main__":
+    here = os.path.dirname(os.path.abspath(__file__))
+    target = os.path.join(os.path.dirname(here), "BENCH_observe.json")
+    baseline = {}
+    if os.path.exists(target):
+        with open(target) as fh:
+            baseline = json.load(fh)
+    baseline["t21"] = {
+        "experiment": "T21 load accounting overhead, blame coverage, "
+                      "detection latency",
+        **_experiment(),
+    }
+    with open(target, "w") as fh:
+        json.dump(baseline, fh, indent=2, default=str)
+        fh.write("\n")
+    json.dump(baseline["t21"], sys.stdout, indent=2, default=str)
+    print()

@@ -288,6 +288,10 @@ def trace_main(argv: List[str]) -> int:
     parser.add_argument("--check", action="store_true",
                         help="validate the exported JSONL against the span "
                              "schema; non-zero exit on problems")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="decompose each syscall's latency into "
+                             "queue/wire/service/local blame tables "
+                             "(also writes critpath.json)")
     opts = parser.parse_args(argv)
 
     cluster = _run_traced_workload(opts.workload, opts.seed, opts.sites,
@@ -295,7 +299,9 @@ def trace_main(argv: List[str]) -> int:
     os.makedirs(opts.out, exist_ok=True)
     jsonl_path = os.path.join(opts.out, "trace.jsonl")
     chrome_path = os.path.join(opts.out, "trace.chrome.json")
-    n_records = export_jsonl(cluster.tracer, jsonl_path)
+    from repro.obs.load import load_records
+    n_records = export_jsonl(cluster.tracer, jsonl_path,
+                             extra=load_records(cluster))
     n_events = export_chrome(cluster.tracer, chrome_path)
 
     tracer = cluster.tracer
@@ -310,6 +316,16 @@ def trace_main(argv: List[str]) -> int:
             print(f"  site{site.site_id} {name}: n={stats['count']} "
                   f"p50={stats['p50']} p95={stats['p95']} "
                   f"p99={stats['p99']}")
+    if opts.critical_path:
+        import json
+        from repro.obs.critpath import analyze, format_blame
+        report = analyze(cluster.tracer)
+        print(format_blame(report))
+        critpath_path = os.path.join(opts.out, "critpath.json")
+        with open(critpath_path, "w") as fh:
+            json.dump(report.to_dict(), fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        print(f"wrote {critpath_path}")
     if opts.check:
         problems = validate_trace_jsonl(jsonl_path)
         if problems:
@@ -317,6 +333,58 @@ def trace_main(argv: List[str]) -> int:
                 print(f"SCHEMA: {p}", file=sys.stderr)
             return 1
         print("schema check: ok")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# top subcommand: deterministic cluster status report
+# ----------------------------------------------------------------------
+
+def _top_workload(seed: int, sites: int, ops: int):
+    """Drive a Zipf-skewed read workload over two filegroups and return
+    ``(cluster, paths)``.  Everything is derived from the seed, so the
+    ``top`` report over the result is byte-deterministic."""
+    import random
+    from repro.workloads.generators import build_tree, sample_paths
+
+    rng = random.Random(seed * 7919 + 13)
+    cluster = LocusCluster(n_sites=sites, seed=seed)
+    setup = cluster.shell(0)
+    paths = build_tree(setup, n_dirs=3, files_per_dir=4, file_size=512,
+                       rng=rng, prefix="/w", copies=min(2, sites))
+    # A second, cold filegroup so the CSS table has something to rank.
+    setup.mkdir("/aux")
+    cluster.add_filegroup("aux", pack_sites=[sites - 1], mount_at="/aux")
+    setup.write_file("/aux/cold", b"c" * 256)
+    cluster.settle()
+    reader = cluster.shell(min(1, sites - 1))
+    for path in sample_paths(rng, paths, ops):
+        try:
+            reader.read_file(path)
+        except LocusError:
+            pass
+    try:
+        reader.read_file("/aux/cold")
+    except LocusError:
+        pass
+    cluster.settle()
+    return cluster, paths
+
+
+def top_main(argv: List[str]) -> int:
+    from repro.obs.load import format_top
+    parser = argparse.ArgumentParser(
+        prog="repro.cli top",
+        description="Deterministic cluster status report: per-site "
+                    "syscall/RPC rates, hottest inodes, CSS load ranking, "
+                    "open conflicts and scrub/recovery backlog.")
+    parser.add_argument("--sites", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ops", type=int, default=60,
+                        help="Zipf-sampled reads to drive before reporting")
+    opts = parser.parse_args(argv)
+    cluster, __ = _top_workload(opts.seed, opts.sites, opts.ops)
+    print(format_top(cluster))
     return 0
 
 
@@ -389,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "top":
+        return top_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)

@@ -135,6 +135,18 @@ class CostModel:
     # registry (plain counter/histogram updates).
     trace_enabled: bool = True
 
+    # Load / hotspot accounting (ISSUE 10).  With the flag on, each site
+    # keeps rolling-window syscall and RPC rates, per-RPC-op service
+    # demand, per-filegroup CSS-role utilization and a bounded top-K
+    # (space-saving) per-inode hotness sketch (repro.obs.load), the
+    # propagator records replication lag, and the cluster-wide
+    # ConvergenceMonitor measures divergence detection latency.  Like
+    # tracing, accounting is purely observational — it never charges CPU,
+    # sends messages, adds yield points or touches the simulator RNG —
+    # so virtual time and message counts are byte-identical with the flag
+    # on or off (held to zero delta by the T21 benchmark).
+    load_accounting: bool = True
+
     # Anti-entropy scrub (ISSUE 9).  After a partition merge or recovery
     # sweep, each CSS sweeps the filegroups it synchronizes: every pack
     # holder returns a batched (version vector, content digest) summary

@@ -12,6 +12,7 @@ from repro.fs.manager import FsManager
 from repro.fs.mount import FilegroupInfo, MountTable
 from repro.fs.types import Gfile, Mode, ROOT_GFS
 from repro.net.network import Network
+from repro.obs.load import ConvergenceMonitor
 from repro.obs.tracer import Tracer
 from repro.sim.simulator import Simulator
 from repro.storage.inode import DiskInode, FileType
@@ -54,8 +55,15 @@ class LocusCluster:
         # land in one tree, ids flow from one counter (deterministic).
         self.tracer = Tracer(self.sim, enabled=config.cost.trace_enabled)
         self.net.tracer = self.tracer
+        # One convergence monitor for the whole cluster (same pattern):
+        # the fault injector notes fault vtimes, scrub/recovery note the
+        # detection and repair vtimes — the difference is the divergence
+        # detection-latency metric (ISSUE 10).
+        self.convergence = ConvergenceMonitor(
+            self.sim, enabled=config.cost.load_accounting)
         for site in self.sites:
             site.tracer = self.tracer
+            site.convergence = self.convergence
         # The program table stands in for compiled load-module bodies; the
         # load modules themselves are real files in the filesystem.
         self.programs: Dict[str, object] = {}

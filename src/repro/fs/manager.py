@@ -283,6 +283,10 @@ class FsManager(PathMixin, NamespaceMixin):
             if mode.synchronized:
                 self.site.metrics.observe("fs.open",
                                           self.site.sim.now - start)
+                # Per-inode hotness: counted once per synchronized open at
+                # the using site, so cluster-wide merges sum open counts.
+                if self.site.load.enabled:
+                    self.site.load.note_inode(gfile)
             if span is not None:
                 tracer.finish(span, prev, status=status_label)
 
@@ -361,9 +365,17 @@ class FsManager(PathMixin, NamespaceMixin):
     # ------------------------------------------------------------------
 
     def h_css_open(self, src: int, p: dict) -> Generator:
-        result = yield from self._exactly_once(
-            p, self.op_ledger, lambda: self._css_open_body(src, p))
-        return result
+        start = self.site.sim.now
+        try:
+            result = yield from self._exactly_once(
+                p, self.op_ledger, lambda: self._css_open_body(src, p))
+            return result
+        finally:
+            # CSS-role utilization: virtual time this site spent serving
+            # synchronization duties for the filegroup (ISSUE 10).
+            if self.site.load.enabled:
+                self.site.load.note_css(p["gfile"][0],
+                                        self.site.sim.now - start)
 
     def _css_open_body(self, src: int, p: dict) -> Generator:
         gfile: Gfile = p["gfile"]
@@ -662,12 +674,19 @@ class FsManager(PathMixin, NamespaceMixin):
         self.site.metrics.count("fs.failovers")
         tracer = self.site.tracer
         failed_ss = handle.ss_site
+        span = prev = None
+        status_label = "ok"
         if tracer is not None and tracer.enabled:
             # Annotate the span whose work is being failed over (the
-            # enclosing syscall/recovery span carried by the task).
+            # enclosing syscall/recovery span carried by the task)...
             tracer.event_on(tracer.current_ctx(), "failover",
                             {"gfile": list(handle.gfile),
                              "failed_ss": failed_ss})
+            # ...and give the substitution itself a span, so storm traces
+            # show the re-home instead of an anonymous rpc:fs.css_open.
+            span, prev = tracer.begin("fs.failover", "fs", self.sid,
+                                      attrs={"gfile": list(handle.gfile),
+                                             "failed_ss": failed_ss})
         try:
             old_version = handle.attrs["version"]
             replacement = yield from self.open_gfile(handle.gfile,
@@ -690,9 +709,15 @@ class FsManager(PathMixin, NamespaceMixin):
                                 {"gfile": list(handle.gfile),
                                  "failed_ss": failed_ss,
                                  "new_ss": replacement.ss_site})
+                tracer.annotate(span, "new_ss", replacement.ss_site)
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
+            raise
         finally:
             handle.failover_busy = None
             busy.resolve(None)
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
         return None
 
     def _failover_write(self, handle: UsHandle) -> Generator:
@@ -715,10 +740,15 @@ class FsManager(PathMixin, NamespaceMixin):
         self.site.metrics.count("fs.write_failovers")
         tracer = self.site.tracer
         failed_ss = handle.ss_site
+        span = prev = None
+        status_label = "ok"
         if tracer is not None and tracer.enabled:
             tracer.event_on(tracer.current_ctx(), "write_failover",
                             {"gfile": list(handle.gfile),
                              "failed_ss": failed_ss})
+            span, prev = tracer.begin("fs.write_failover", "fs", self.sid,
+                                      attrs={"gfile": list(handle.gfile),
+                                             "failed_ss": failed_ss})
         try:
             replacement = yield from self.open_gfile(
                 handle.gfile, handle.mode, reopen=True,
@@ -742,9 +772,16 @@ class FsManager(PathMixin, NamespaceMixin):
                                  "failed_ss": failed_ss,
                                  "new_ss": handle.ss_site,
                                  "restaged": staged})
+                tracer.annotate(span, "new_ss", handle.ss_site)
+                tracer.annotate(span, "restaged", staged)
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised
+            status_label = type(exc).__name__
+            raise
         finally:
             handle.failover_busy = None
             busy.resolve(None)
+            if span is not None:
+                tracer.finish(span, prev, status=status_label)
         return None
 
     def _replay_staged(self, handle: UsHandle) -> Generator:
@@ -2090,8 +2127,12 @@ class FsManager(PathMixin, NamespaceMixin):
         return None
 
     def h_css_ss_close(self, src: int, p: dict) -> Generator:
+        start = self.site.sim.now
         yield from self._exactly_once(
             p, self.op_ledger, lambda: self._css_ss_close_body(p))
+        if self.site.load.enabled:
+            self.site.load.note_css(p["gfile"][0],
+                                    self.site.sim.now - start)
         return None
 
     def _css_ss_close_body(self, p: dict) -> Generator:

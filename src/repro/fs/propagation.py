@@ -70,6 +70,10 @@ class Propagator:
         self.queue = SimQueue(self.site.sim,
                               name=f"prop@{self.site.site_id}")
         self._pending: Set[Gfile] = set()
+        # Replication-lag accounting (ISSUE 10): first-enqueue vtime per
+        # pending file.  Pure bookkeeping — read by the load gauges and a
+        # metrics histogram, never by the pull protocol itself.
+        self._enqueued: Dict[Gfile, float] = {}
         # Files whose pull is in flight right now: storage-site opens must
         # not snapshot the pack mid-pull (they would later commit over it).
         self._pulling: Set[Gfile] = set()
@@ -93,6 +97,7 @@ class Propagator:
         self.queue = SimQueue(self.site.sim,
                               name=f"prop@{self.site.site_id}")
         self._pending.clear()
+        self._enqueued.clear()
         self._pulling.clear()   # in-flight pull tasks died with the site
         self._task = None
 
@@ -111,10 +116,36 @@ class Propagator:
     def idle(self) -> bool:
         return not self._pending
 
+    # -- replication-lag accounting (ISSUE 10) ------------------------------
+
+    def lag_ages(self) -> List[float]:
+        """Replication lag of each still-pending file: virtual time since
+        its first enqueue, in pending-set order (sorted by gfile)."""
+        now = self.site.sim.now
+        return [round(now - self._enqueued[g], 6)
+                for g in sorted(self._pending) if g in self._enqueued]
+
+    def _retire(self, gfile: Gfile, outcome: str) -> None:
+        """A request left the pending set.  ``pulled`` / ``skipped`` /
+        ``failed`` are terminal: the enqueue timestamp is dropped, and a
+        completed pull records its replication lag (first-enqueue vtime →
+        committed vtime).  ``requeued`` keeps the timestamp so the
+        eventual pull measures the full lag."""
+        self._pending.discard(gfile)
+        if outcome == "requeued":
+            return
+        enqueued = self._enqueued.pop(gfile, None)
+        if outcome == "pulled" and enqueued is not None \
+                and self.site.cost.load_accounting:
+            self.site.metrics.observe("prop.lag",
+                                      self.site.sim.now - enqueued)
+
     # -- intake -------------------------------------------------------------
 
     def enqueue(self, gfile: Gfile, attrs: dict,
                 pages: Optional[List[int]], hint: int) -> None:
+        if gfile not in self._pending:
+            self._enqueued[gfile] = self.site.sim.now
         self._pending.add(gfile)
         self.queue.put(_Request(gfile=gfile, attrs=attrs,
                                 pages=pages, hint=hint))
@@ -145,7 +176,7 @@ class Propagator:
         except FsError:
             self.stats.failed += 1
             self._pulling.discard(req.gfile)
-            self._pending.discard(req.gfile)
+            self._retire(req.gfile, "failed")
             self._retire_placeholder(req.gfile)
 
     def _retry_later(self, req: _Request) -> None:
@@ -160,7 +191,7 @@ class Propagator:
             self.site.sim.schedule(_DEFER_DELAY * req.deferrals,
                                    self.queue.put, req)
         else:
-            self._pending.discard(req.gfile)
+            self._retire(req.gfile, "failed")
             self._retire_placeholder(req.gfile)
 
     def _retire_placeholder(self, gfile: Gfile) -> None:
@@ -201,7 +232,7 @@ class Propagator:
         if req.deferrals <= _MAX_DEFERRALS:
             self.site.sim.schedule(_DEFER_DELAY, self.queue.put, req)
         else:
-            self._pending.discard(req.gfile)
+            self._retire(req.gfile, "failed")
 
     def _precheck(self, req: _Request) -> str:
         """'skip' (nothing to pull into), 'defer' (busy locally), or
@@ -232,14 +263,16 @@ class Propagator:
         verdict = self._precheck(req)
         if verdict == "skip":
             self.stats.skipped += 1
-            self._pending.discard(req.gfile)
+            self._retire(req.gfile, "skipped")
             return None
         if verdict == "defer":
             self._defer(req)
             return None
         pack = self.fs.local_pack(req.gfile[0])
+        before = self.stats.pulls
         yield from self._pull(req, pack, pack.get_inode(req.gfile[1]).version)
-        self._pending.discard(req.gfile)
+        self._retire(req.gfile,
+                     "pulled" if self.stats.pulls > before else "requeued")
         return None
 
     # -- manifest batch service (CostModel.pull_manifest) ------------------
@@ -255,7 +288,7 @@ class Propagator:
             verdict = self._precheck(req)
             if verdict == "skip":
                 self.stats.skipped += 1
-                self._pending.discard(req.gfile)
+                self._retire(req.gfile, "skipped")
             elif verdict == "defer":
                 self._defer(req)
             else:
@@ -318,11 +351,13 @@ class Propagator:
             inode = pack.get_inode(req.gfile[1]) if pack else None
             if inode is None:
                 self.stats.skipped += 1
-                self._pending.discard(req.gfile)
+                self._retire(req.gfile, "skipped")
                 return waits[0]
+            before = self.stats.pulls
             yield from self._pull(req, pack, inode.version,
                                   manifest_source=source, waits=waits)
-            self._pending.discard(req.gfile)
+            self._retire(req.gfile, "pulled" if self.stats.pulls > before
+                         else "requeued")
         except (NetworkError, EIO):
             # Same policy as _service_one: a transient disk-write fault
             # must not permanently abandon convergence.
@@ -330,7 +365,7 @@ class Propagator:
         except FsError:
             self.stats.failed += 1
             self._pulling.discard(req.gfile)
-            self._pending.discard(req.gfile)
+            self._retire(req.gfile, "failed")
             self._retire_placeholder(req.gfile)
         return waits[0]
 

@@ -185,6 +185,18 @@ class ScrubManager:
         self.site.metrics.count("scrub.exhausted")
         return None
 
+    def _flag(self, category: str, gfile: Gfile) -> None:
+        """A divergence was classified: timestamp it on the shared
+        timeline (``scrub.<category>`` instant) and feed the cluster's
+        detection-latency metric (ISSUE 10).  Observational only."""
+        tracer = getattr(self.site, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.instant(f"scrub.{category}", site=self.sid,
+                           attrs={"gfile": list(gfile)})
+        monitor = self.site.convergence
+        if monitor is not None and monitor.enabled:
+            monitor.note_detection(category, site=self.sid, gfile=gfile)
+
     def _rpc(self, dst: int, op: str, payload: dict) -> Generator:
         cost = self.site.cost
         timeout = (cost.rpc_timeout or None) if cost.supervise_remote_ops \
@@ -246,6 +258,7 @@ class ScrubManager:
                 mismatches += 1
                 self.stats.reconciles += 1
                 self.site.metrics.count("scrub.reconciles")
+                self._flag("reconcile", gfile)
                 if recovery is not None:
                     recovery._note_reconcile_needed(gfile)
                 continue
@@ -260,6 +273,7 @@ class ScrubManager:
                 mismatches += 1
                 self.stats.reconciles += 1
                 self.site.metrics.count("scrub.reconciles")
+                self._flag("reconcile", gfile)
                 if recovery is not None:
                     recovery._note_reconcile_needed(gfile)
                 continue
@@ -272,6 +286,7 @@ class ScrubManager:
                 mismatches += 1
                 self.stats.digest_skews += 1
                 self.site.metrics.count("scrub.digest_skews")
+                self._flag("digest_skew", gfile)
                 if recovery is None:
                     continue
                 if win_attrs["ftype"] in _DIR_TYPES:
@@ -294,6 +309,7 @@ class ScrubManager:
                     mismatches += 1
                     self.stats.placement_repairs += 1
                     self.site.metrics.count("scrub.placement_repairs")
+                    self._flag("placement", gfile)
                     yield from self.site.oneway_quiet(s, "fs.notify", {
                         "gfile": gfile, "attrs": win_attrs, "pages": None,
                         "origin": self.sid, "_scrub_placement": True})
@@ -351,4 +367,5 @@ class ScrubManager:
                 removed += 1
                 self.stats.dangling_removed += 1
                 self.site.metrics.count("scrub.dangling_removed")
+                self._flag("dangling", (gfs, entry.ino))
         return removed

@@ -1,19 +1,29 @@
-"""Cluster-wide flight recorder: causal tracing, latency histograms, export.
+"""Cluster-wide flight recorder: causal tracing, latency histograms,
+critical-path analysis, load/hotspot accounting, export.
 
-See docs/OBSERVABILITY.md for the span model and export formats.
+See docs/OBSERVABILITY.md for the span model, the blame-table
+decomposition, the load gauges and the export formats.
 """
 
 from repro.obs.histogram import (BUCKET_EDGES, HistSnapshot, Histogram,
-                                 merge_snapshots)
+                                 merge_snapshots, merge_windows)
 from repro.obs.registry import MetricsRegistry, RegistrySnapshot
 from repro.obs.span import Span, SpanCtx
 from repro.obs.tracer import Tracer, traced_syscall
 from repro.obs.export import (causal_chains, export_chrome, export_jsonl,
                               trace_records, validate_trace_jsonl)
+from repro.obs.critpath import (CritPathReport, analyze, analyze_spans,
+                                format_blame)
+from repro.obs.load import (ConvergenceMonitor, LoadAccountant, SpaceSaving,
+                            cluster_load_report, format_top, load_records,
+                            merge_sketches)
 
 __all__ = [
     "BUCKET_EDGES", "Histogram", "HistSnapshot", "merge_snapshots",
-    "MetricsRegistry", "RegistrySnapshot", "Span", "SpanCtx", "Tracer",
-    "traced_syscall", "causal_chains", "export_chrome", "export_jsonl",
-    "trace_records", "validate_trace_jsonl",
+    "merge_windows", "MetricsRegistry", "RegistrySnapshot", "Span",
+    "SpanCtx", "Tracer", "traced_syscall", "causal_chains", "export_chrome",
+    "export_jsonl", "trace_records", "validate_trace_jsonl",
+    "CritPathReport", "analyze", "analyze_spans", "format_blame",
+    "ConvergenceMonitor", "LoadAccountant", "SpaceSaving",
+    "cluster_load_report", "format_top", "load_records", "merge_sketches",
 ]

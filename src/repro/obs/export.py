@@ -21,6 +21,13 @@ from typing import Dict, List, Optional
 _SPAN_KEYS = {"type", "span_id", "trace_id", "parent_id", "name", "kind",
               "site", "start", "end", "status", "attrs", "events"}
 _INSTANT_KEYS = {"type", "seq", "ts", "name", "site", "attrs"}
+# Load-accounting records (ISSUE 10): one per site, appended after the
+# instants, plus the convergence monitor's detection/repair records.
+_LOAD_KEYS = {"type", "site", "ts", "window", "syscalls", "syscall_rate",
+              "rpcs", "rpc_rate", "rpc_ops", "hot_inodes", "css",
+              "queues", "replication"}
+_DETECTION_KEYS = {"type", "seq", "ts", "event", "kind", "site", "gfile",
+                   "fault_ts", "latency"}
 
 
 def _dumps(obj) -> str:
@@ -40,9 +47,17 @@ def trace_records(tracer) -> List[Dict]:
     return records
 
 
-def export_jsonl(tracer, path: str) -> int:
-    """Write one JSON object per line; returns the record count."""
+def export_jsonl(tracer, path: str,
+                 extra: Optional[List[Dict]] = None) -> int:
+    """Write one JSON object per line; returns the record count.
+
+    ``extra`` appends additional deterministic records after the trace
+    stream — the ``load`` / ``detection`` records built by
+    :func:`repro.obs.load.load_records`.
+    """
     records = trace_records(tracer)
+    if extra:
+        records = records + list(extra)
     with open(path, "w") as fh:
         for rec in records:
             fh.write(_dumps(rec))
@@ -135,6 +150,21 @@ def validate_trace_jsonl(path: str) -> List[str]:
                 if missing:
                     errors.append(
                         f"line {lineno}: instant missing {sorted(missing)}")
+            elif rtype == "load":
+                missing = _LOAD_KEYS - set(rec)
+                if missing:
+                    errors.append(
+                        f"line {lineno}: load missing {sorted(missing)}")
+            elif rtype == "detection":
+                missing = _DETECTION_KEYS - set(rec)
+                if missing:
+                    errors.append(
+                        f"line {lineno}: detection missing "
+                        f"{sorted(missing)}")
+                elif rec["event"] not in ("detect", "repair"):
+                    errors.append(
+                        f"line {lineno}: detection event "
+                        f"{rec['event']!r} not detect/repair")
             else:
                 errors.append(f"line {lineno}: unknown record type {rtype!r}")
     if not meta_seen:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 def _ladder() -> Tuple[float, ...]:
@@ -122,13 +122,45 @@ class HistSnapshot:
 
 
 def merge_snapshots(snaps: Sequence[HistSnapshot]) -> HistSnapshot:
-    """Sum bucket counts across sites (cluster-wide percentile view)."""
+    """Sum bucket counts across sites (cluster-wide percentile view).
+
+    An empty sequence merges to an empty snapshot; snapshots whose bucket
+    ladders disagree (counts tuples of different length — e.g. mixing
+    exports from different builds) are rejected rather than silently
+    zipped short.
+    """
     counts = [0] * (len(BUCKET_EDGES) + 1)
     count = 0
     total = 0.0
     for s in snaps:
+        if len(s.counts) != len(counts):
+            raise ValueError(
+                f"mismatched bucket ladder: snapshot has {len(s.counts)} "
+                f"buckets, expected {len(counts)}")
         for i, n in enumerate(s.counts):
             counts[i] += n
         count += s.count
         total += s.total
     return HistSnapshot(counts=tuple(counts), count=count, total=total)
+
+
+def merge_windows(windows: Sequence[Mapping[str, HistSnapshot]],
+                  prefix: str = "") -> Dict[str, Dict]:
+    """Cluster-wide windowed percentile merge: the public form of what the
+    benchmark harness does around every measured block.
+
+    ``windows`` is one mapping per site of metric name → windowed
+    :class:`HistSnapshot` (typically ``RegistrySnapshot.diff(...).hists``);
+    the result maps each name matching ``prefix`` to the merged
+    ``to_dict()`` summary.  Sites missing a metric contribute nothing for
+    it (an empty site list or all-empty windows merge to ``{}``);
+    mismatched bucket ladders raise like :func:`merge_snapshots`.
+    """
+    names = sorted({name for w in windows for name in w
+                    if name.startswith(prefix)})
+    out: Dict[str, Dict] = {}
+    for name in names:
+        merged = merge_snapshots([w[name] for w in windows if name in w])
+        if merged.count:
+            out[name] = merged.to_dict()
+    return out

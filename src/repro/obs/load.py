@@ -1,0 +1,441 @@
+"""Cluster load and hotspot accounting: the measurement layer for CSS
+sharding.
+
+The ROADMAP's headline item — shard the CSS and hand the
+synchronization-site role off on load — needs the system to *measure*
+load first: which filegroup is hot, which inodes draw the traffic,
+where each site's service demand goes, and how long divergence goes
+undetected.  This module provides exactly those gauges:
+
+* :class:`LoadAccountant` — one per site, fed from the syscall wrapper,
+  the RPC serve path, and the CSS open/close handlers.  Keeps
+  rolling-window syscall/RPC rates, per-RPC-op service demand,
+  per-filegroup CSS-role utilization, and per-inode hotness through a
+  bounded top-K *space-saving* sketch (Metwally et al.) so memory stays
+  O(K) no matter how many files a workload touches.
+* :class:`ConvergenceMonitor` — one per cluster, fed by the fault
+  injector (fault vtimes) and the scrub/recovery managers (detection
+  and repair vtimes); the difference is the divergence
+  detection-latency metric that the steady-state scrub scheduling item
+  will optimize.
+* :func:`load_records` — deterministic ``load`` / ``detection`` records
+  appended to the JSONL export stream (validated by
+  ``cli trace --check``).
+* :func:`format_top` — the byte-deterministic cluster status report
+  behind ``python -m repro.cli top``.
+
+Like the rest of ``repro.obs``, accounting is observational only: it
+never charges CPU, sends messages, adds yield points, or touches the
+simulator RNG, so virtual time and message counts are byte-identical
+with ``CostModel.load_accounting`` on or off (held to exactly zero
+delta by the T21 benchmark).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.histogram import Histogram
+
+
+class SpaceSaving:
+    """Bounded top-K heavy-hitter sketch (the *space-saving* algorithm).
+
+    Tracks at most ``capacity`` keys.  A new key beyond capacity evicts
+    the current minimum and inherits its count as the new entry's error
+    bound, so every reported count over-estimates by at most ``error``.
+    All tie-breaks are on the key itself, keeping the sketch — and the
+    ``cli top`` tables built from it — deterministic for a given
+    observation sequence.
+    """
+
+    __slots__ = ("capacity", "counts", "errors")
+
+    def __init__(self, capacity: int = 32):
+        self.capacity = max(1, capacity)
+        self.counts: Dict = {}
+        self.errors: Dict = {}
+
+    def observe(self, key, weight: int = 1) -> None:
+        counts = self.counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            self.errors[key] = 0
+            return
+        victim = min(counts, key=lambda k: (counts[k], k))
+        floor = counts.pop(victim)
+        self.errors.pop(victim)
+        counts[key] = floor + weight
+        self.errors[key] = floor
+
+    def top(self, k: Optional[int] = None) -> List[Tuple]:
+        """``[(key, count, error), ...]`` sorted by count desc, key asc."""
+        ranked = sorted(self.counts,
+                        key=lambda key: (-self.counts[key], key))
+        if k is not None:
+            ranked = ranked[:k]
+        return [(key, self.counts[key], self.errors[key]) for key in ranked]
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def merge_sketches(sketches: Iterable["SpaceSaving"],
+                   capacity: int = 32) -> "SpaceSaving":
+    """Cluster-wide hotness: sum per-key counts across per-site sketches
+    (error bounds add, staying a valid over-estimate bound)."""
+    merged = SpaceSaving(capacity)
+    totals: Dict = {}
+    errors: Dict = {}
+    for sketch in sketches:
+        for key, count in sketch.counts.items():
+            totals[key] = totals.get(key, 0) + count
+            errors[key] = errors.get(key, 0) + sketch.errors[key]
+    for key in sorted(totals, key=lambda k: (-totals[k], k))[:capacity]:
+        merged.counts[key] = totals[key]
+        merged.errors[key] = errors[key]
+    return merged
+
+
+class RollingWindow:
+    """Virtual-time-bucketed event counter: a rate over the last
+    ``buckets * width`` vtime, computed purely from the deterministic
+    clock (no wall time, no decay constants)."""
+
+    __slots__ = ("sim", "width", "buckets", "_counts", "total")
+
+    def __init__(self, sim, width: float = 2000.0, buckets: int = 8):
+        self.sim = sim
+        self.width = width
+        self.buckets = buckets
+        self._counts: Dict[int, float] = {}
+        self.total = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        idx = int(self.sim.now // self.width)
+        self._counts[idx] = self._counts.get(idx, 0.0) + amount
+        self.total += amount
+        if len(self._counts) > self.buckets:
+            floor = idx - self.buckets + 1
+            for stale in [i for i in self._counts if i < floor]:
+                del self._counts[stale]
+
+    def windowed(self) -> float:
+        """Total over the live window ending now."""
+        floor = int(self.sim.now // self.width) - self.buckets + 1
+        return sum(v for i, v in self._counts.items() if i >= floor)
+
+    def rate(self) -> float:
+        """Events per vtime unit over the live window."""
+        span = min(max(self.sim.now, self.width),
+                   self.width * self.buckets)
+        return self.windowed() / span
+
+
+class LoadAccountant:
+    """Per-site load accounting; attached as ``site.load`` and exposed
+    through the site registry's ``load`` gauge source."""
+
+    def __init__(self, site, hot_capacity: int = 32):
+        self.site = site
+        self.enabled = site.cost.load_accounting
+        sim = site.sim
+        self.syscall_window = RollingWindow(sim)
+        self.rpc_window = RollingWindow(sim)
+        # op -> [served count, service vtime] (server-side demand).
+        self.rpc_demand: Dict[str, List[float]] = {}
+        self.hot_inodes = SpaceSaving(hot_capacity)
+        # gfs -> [css ops handled, busy vtime] while this site holds the
+        # CSS role for the filegroup.
+        self.css_demand: Dict[int, List[float]] = {}
+
+    # -- recording (call sites gate on ``enabled``) ----------------------
+
+    def note_syscall(self, name: str, duration: float) -> None:
+        self.syscall_window.add()
+
+    def note_rpc_served(self, op: str, service_time: float) -> None:
+        self.rpc_window.add()
+        cell = self.rpc_demand.get(op)
+        if cell is None:
+            cell = self.rpc_demand[op] = [0, 0.0]
+        cell[0] += 1
+        cell[1] += service_time
+
+    def note_inode(self, gfile, weight: int = 1) -> None:
+        self.hot_inodes.observe(tuple(gfile), weight)
+
+    def note_css(self, gfs: int, service_time: float) -> None:
+        cell = self.css_demand.get(gfs)
+        if cell is None:
+            cell = self.css_demand[gfs] = [0, 0.0]
+        cell[0] += 1
+        cell[1] += service_time
+
+    # -- reading ---------------------------------------------------------
+
+    def _queues(self) -> Dict[str, int]:
+        fs = getattr(self.site, "fs", None)
+        return {
+            "rpc_outstanding": len(self.site._pending),
+            "propagation": len(fs.propagator.pending())
+            if fs is not None else 0,
+            "staged_pages": sum(len(h.pending_writes)
+                                for h in fs.us.values())
+            if fs is not None else 0,
+        }
+
+    def _replication(self) -> Dict[str, float]:
+        fs = getattr(self.site, "fs", None)
+        if fs is None:
+            return {"pending": 0, "oldest_lag": 0.0, "pulled": 0}
+        prop = fs.propagator
+        ages = prop.lag_ages()
+        return {
+            "pending": len(ages),
+            "oldest_lag": round(max(ages), 6) if ages else 0.0,
+            "pulled": prop.stats.pulls,
+        }
+
+    def gauges(self) -> Dict:
+        """Flat scalars for the registry gauge source."""
+        queues = self._queues()
+        repl = self._replication()
+        return {
+            "syscalls": int(self.syscall_window.total),
+            "syscall_rate": round(self.syscall_window.rate(), 6),
+            "rpcs_served": int(self.rpc_window.total),
+            "rpc_rate": round(self.rpc_window.rate(), 6),
+            "css_busy": round(sum(c[1]
+                                  for c in self.css_demand.values()), 6),
+            "hot_tracked": len(self.hot_inodes),
+            "prop_backlog": queues["propagation"],
+            "replication_lag": repl["oldest_lag"],
+        }
+
+    def snapshot(self) -> Dict:
+        """The full per-site load record exported into the JSONL
+        stream.  Deterministic: every mapping is key-sorted."""
+        now = max(self.site.sim.now, 1.0)
+        return {
+            "window": [self.syscall_window.width,
+                       self.syscall_window.buckets],
+            "syscalls": int(self.syscall_window.total),
+            "syscall_rate": round(self.syscall_window.rate(), 6),
+            "rpcs": int(self.rpc_window.total),
+            "rpc_rate": round(self.rpc_window.rate(), 6),
+            "rpc_ops": {op: {"count": int(cell[0]),
+                             "busy": round(cell[1], 6)}
+                        for op, cell in sorted(self.rpc_demand.items())},
+            "hot_inodes": [[list(key), int(count), int(err)]
+                           for key, count, err in self.hot_inodes.top(10)],
+            "css": {str(gfs): {"opens": int(cell[0]),
+                               "busy": round(cell[1], 6),
+                               "util": round(cell[1] / now, 6)}
+                    for gfs, cell in sorted(self.css_demand.items())},
+            "queues": self._queues(),
+            "replication": self._replication(),
+        }
+
+
+class ConvergenceMonitor:
+    """Divergence detection latency: fault-injection vtime to the vtime
+    the scrub or recovery machinery detected / repaired the divergence.
+
+    One monitor per cluster (like the tracer): the injector notes every
+    fault action, the scrub notes each classified mismatch, and recovery
+    notes each repair it performs.  The latency of an event is measured
+    from the most recent fault at or before it — the deterministic
+    analogue of "how long did the damage go unnoticed".
+    """
+
+    def __init__(self, sim, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.faults: List[Tuple[float, str]] = []
+        self.events: List[Dict] = []
+        self.detection_latency = Histogram()
+        self._seq = itertools.count(1)
+
+    def note_fault(self, kind: str) -> None:
+        if self.enabled:
+            self.faults.append((self.sim.now, kind))
+
+    def _note(self, event: str, kind: str, site: Optional[int],
+              gfile) -> None:
+        if not self.enabled:
+            return
+        fault_ts = self.faults[-1][0] if self.faults else None
+        latency = None
+        if fault_ts is not None:
+            latency = round(self.sim.now - fault_ts, 6)
+            if event == "detect":
+                self.detection_latency.observe(latency)
+        self.events.append({
+            "type": "detection",
+            "seq": next(self._seq),
+            "ts": self.sim.now,
+            "event": event,
+            "kind": kind,
+            "site": site,
+            "gfile": list(gfile) if gfile is not None else None,
+            "fault_ts": fault_ts,
+            "latency": latency,
+        })
+
+    def note_detection(self, kind: str, site: Optional[int] = None,
+                       gfile=None) -> None:
+        """Scrub/recovery classified a divergence."""
+        self._note("detect", kind, site, gfile)
+
+    def note_repair(self, kind: str, site: Optional[int] = None,
+                    gfile=None) -> None:
+        """A divergence was actually repaired (pull installed, conflict
+        flagged, copy retired...)."""
+        self._note("repair", kind, site, gfile)
+
+    def detections(self) -> List[Dict]:
+        return [e for e in self.events if e["event"] == "detect"]
+
+    def repairs(self) -> List[Dict]:
+        return [e for e in self.events if e["event"] == "repair"]
+
+    def records(self) -> List[Dict]:
+        return [dict(e) for e in self.events]
+
+    def summary(self) -> Dict:
+        return {
+            "faults": len(self.faults),
+            "detections": len(self.detections()),
+            "repairs": len(self.repairs()),
+            "detection_latency": self.detection_latency.to_dict(),
+        }
+
+
+def load_records(cluster) -> List[Dict]:
+    """Deterministic ``load`` + ``detection`` records for the JSONL
+    export stream (appended after the span/instant records)."""
+    records: List[Dict] = []
+    for site in cluster.sites:
+        acct = getattr(site, "load", None)
+        if acct is None or not acct.enabled:
+            continue
+        record = {"type": "load", "site": site.site_id,
+                  "ts": cluster.sim.now}
+        record.update(acct.snapshot())
+        records.append(record)
+    monitor = getattr(cluster, "convergence", None)
+    if monitor is not None and monitor.enabled:
+        records.extend(monitor.records())
+    return records
+
+
+# ----------------------------------------------------------------------
+# The ``cli top`` report
+# ----------------------------------------------------------------------
+
+def cluster_load_report(cluster) -> Dict:
+    """Aggregate the per-site accountants into one cluster view."""
+    accts = [getattr(s, "load", None) for s in cluster.sites]
+    accts = [a for a in accts if a is not None and a.enabled]
+    hot = merge_sketches([a.hot_inodes for a in accts])
+    css_rank: Dict[int, Dict] = {}
+    now = max(cluster.sim.now, 1.0)
+    for site in cluster.sites:
+        acct = getattr(site, "load", None)
+        if acct is None or not acct.enabled:
+            continue
+        for gfs, cell in acct.css_demand.items():
+            entry = css_rank.setdefault(
+                gfs, {"gfs": gfs, "site": site.site_id,
+                      "opens": 0, "busy": 0.0})
+            entry["opens"] += int(cell[0])
+            entry["busy"] += cell[1]
+    for entry in css_rank.values():
+        entry["busy"] = round(entry["busy"], 6)
+        entry["util"] = round(entry["busy"] / now, 6)
+    conflicts = sorted({
+        (gfs, ino)
+        for site in cluster.sites
+        for gfs, pack in site.packs.items()
+        for ino, inode in pack.inodes.items()
+        if inode.conflict and not inode.deleted})
+    scrub_backlog = sum(len(s.scrub._active) for s in cluster.sites
+                        if s.scrub is not None)
+    recovery_backlog = sum(
+        len(inos) for s in cluster.sites if s.recovery is not None
+        for inos in s.recovery.pending.values())
+    prop_backlog = sum(len(s.fs.propagator.pending())
+                       for s in cluster.sites if s.fs is not None)
+    monitor = getattr(cluster, "convergence", None)
+    return {
+        "vtime": round(cluster.sim.now, 2),
+        "messages": cluster.stats.total_messages,
+        "sites": [dict(site=s.site_id,
+                       up=s.up,
+                       cpu_used=round(s.cpu_used, 2),
+                       **(s.load.gauges() if getattr(s, "load", None)
+                          is not None and s.load.enabled else {}))
+                  for s in cluster.sites],
+        "hot_inodes": [[list(key), int(count), int(err)]
+                       for key, count, err in hot.top(10)],
+        "css": sorted(css_rank.values(),
+                      key=lambda e: (-e["opens"], e["gfs"])),
+        "backlog": {
+            "conflicts": len(conflicts),
+            "scrub_active": scrub_backlog,
+            "recovery_pending": recovery_backlog,
+            "propagation": prop_backlog,
+        },
+        "convergence": monitor.summary() if monitor is not None else {},
+    }
+
+
+def format_top(cluster) -> str:
+    """Byte-deterministic cluster status report (``python -m repro.cli
+    top``): per-site rates, hottest inodes, CSS load ranking, backlog."""
+    report = cluster_load_report(cluster)
+    lines: List[str] = [
+        f"LOCUS top — vtime={report['vtime']} "
+        f"sites={len(report['sites'])} msgs={report['messages']}",
+        "-- sites --",
+        f"  {'site':<5} {'state':<5} {'syscalls':>9} {'sc_rate':>9} "
+        f"{'rpcs_srv':>9} {'rpc_rate':>9} {'cpu_used':>10} {'prop_q':>6}",
+    ]
+    for s in report["sites"]:
+        lines.append(
+            f"  {s['site']:<5} {'up' if s['up'] else 'DOWN':<5} "
+            f"{s.get('syscalls', 0):>9} {s.get('syscall_rate', 0.0):>9.4f} "
+            f"{s.get('rpcs_served', 0):>9} {s.get('rpc_rate', 0.0):>9.4f} "
+            f"{s['cpu_used']:>10.1f} {s.get('prop_backlog', 0):>6}")
+    lines.append("-- hottest inodes (space-saving top-K) --")
+    lines.append(f"  {'rank':<5} {'gfile':<12} {'opens':>6} {'err':>4}")
+    for rank, (key, count, err) in enumerate(
+            ((tuple(k), c, e) for k, c, e in report["hot_inodes"]),
+            start=1):
+        lines.append(f"  {rank:<5} {str(key):<12} {count:>6} {err:>4}")
+    lines.append("-- CSS load by filegroup --")
+    lines.append(f"  {'gfs':<4} {'css':<4} {'opens':>6} {'busy':>10} "
+                 f"{'util':>8}")
+    for entry in report["css"]:
+        lines.append(f"  {entry['gfs']:<4} {entry['site']:<4} "
+                     f"{entry['opens']:>6} {entry['busy']:>10.1f} "
+                     f"{entry['util']:>8.4f}")
+    backlog = report["backlog"]
+    lines.append(
+        f"backlog: conflicts={backlog['conflicts']} "
+        f"scrub_active={backlog['scrub_active']} "
+        f"recovery_pending={backlog['recovery_pending']} "
+        f"propagation={backlog['propagation']}")
+    conv = report["convergence"]
+    if conv:
+        lat = conv["detection_latency"]
+        lines.append(
+            f"convergence: faults={conv['faults']} "
+            f"detections={conv['detections']} repairs={conv['repairs']} "
+            f"detect_p50={lat['p50']} detect_p99={lat['p99']}")
+    return "\n".join(lines)

@@ -491,6 +491,10 @@ class RecoveryManager:
         if not behind:
             return None
         self.stats.propagations_scheduled += len(behind)
+        monitor = self.site.convergence
+        if monitor is not None and monitor.enabled:
+            monitor.note_repair("propagate", site=self.site.site_id,
+                                gfile=gfile)
         # _recovery marks a sweep-driven notify (header-riding, zero wire
         # size): a receiver whose copy strictly supersedes win_attrs
         # answers with its own attributes instead of silently dropping the
@@ -675,6 +679,10 @@ class RecoveryManager:
     def _mark_conflict(self, gfile: Gfile,
                        holders: List[Tuple[int, dict]]) -> Generator:
         self.stats.conflicts_marked += 1
+        monitor = self.site.convergence
+        if monitor is not None and monitor.enabled:
+            monitor.note_repair("mark_conflict", site=self.site.site_id,
+                                gfile=gfile)
         for s, __ in holders:
             yield from self.site.oneway_quiet(s, "fs.mark_conflict",
                                               {"gfile": gfile})

@@ -1,0 +1,173 @@
+"""Critical-path analyzer: exact decomposition on hand-built trees, and
+blame tables over live storm traces (ISSUE 10)."""
+
+import pytest
+
+from repro.cli import _run_traced_workload
+from repro.obs.critpath import (SEGMENTS, analyze, analyze_spans,
+                                format_blame)
+from repro.obs.span import Span
+
+
+def mkspan(span_id, name, kind, start, end, parent_id=None, site=0,
+           events=()):
+    span = Span(span_id=span_id, trace_id=1, parent_id=parent_id,
+                name=name, kind=kind, site=site, start=start)
+    span.end = end
+    span.events = list(events)
+    return span
+
+
+class TestHandBuiltDecomposition:
+    def test_known_segments_decompose_exactly(self):
+        # syscall.read [0, 100]
+        #   └ rpc:fs.read_page [10, 90] with 20 vtime of queue_wait
+        #       └ serve:fs.read_page [40, 70]
+        # => local 20 (gaps 0-10 + 90-100), queue 20, wire 30 (rpc self
+        #    50 minus queued 20), remote_service 30.
+        spans = [
+            mkspan(1, "syscall.read", "syscall", 0.0, 100.0),
+            mkspan(2, "rpc:fs.read_page", "rpc", 10.0, 90.0, parent_id=1,
+                   events=[(15.0, "queue_wait", {"delay": 12.0}),
+                           (75.0, "queue_wait", {"delay": 8.0})]),
+            mkspan(3, "serve:fs.read_page", "handler", 40.0, 70.0,
+                   parent_id=2, site=1),
+        ]
+        report = analyze_spans(spans)
+        blame = report.syscalls["syscall.read"]
+        assert blame.count == 1
+        assert blame.total == pytest.approx(100.0)
+        assert blame.segments["local"] == pytest.approx(20.0)
+        assert blame.segments["queue"] == pytest.approx(20.0)
+        assert blame.segments["wire"] == pytest.approx(30.0)
+        assert blame.segments["remote_service"] == pytest.approx(30.0)
+        assert blame.segments["retry_wait"] == 0.0
+        assert report.coverage == pytest.approx(1.0)
+
+    def test_srpc_self_time_is_retry_wait(self):
+        # srpc wrapper [0, 100] with two rpc attempts; the gap between
+        # the attempts (the backoff sleep) is retry_wait.
+        spans = [
+            mkspan(1, "syscall.open", "syscall", 0.0, 100.0),
+            mkspan(2, "srpc:fs.css_open", "rpc", 0.0, 100.0, parent_id=1),
+            mkspan(3, "rpc:fs.css_open", "rpc", 0.0, 20.0, parent_id=2),
+            mkspan(4, "rpc:fs.css_open", "rpc", 60.0, 100.0, parent_id=2),
+        ]
+        report = analyze_spans(spans)
+        blame = report.syscalls["syscall.open"]
+        assert blame.segments["retry_wait"] == pytest.approx(40.0)
+        assert blame.segments["wire"] == pytest.approx(60.0)
+        assert report.coverage == pytest.approx(1.0)
+
+    def test_overlapping_children_counted_once(self):
+        # Two pipelined rpc pulls overlap [10,60] and [40,90]: the overlap
+        # [40,60] must be attributed once, not twice.
+        spans = [
+            mkspan(1, "syscall.pread", "syscall", 0.0, 100.0),
+            mkspan(2, "rpc:fs.pull_read_range", "rpc", 10.0, 60.0,
+                   parent_id=1),
+            mkspan(3, "rpc:fs.pull_read_range", "rpc", 40.0, 90.0,
+                   parent_id=1),
+        ]
+        report = analyze_spans(spans)
+        blame = report.syscalls["syscall.pread"]
+        assert sum(blame.segments.values()) == pytest.approx(100.0)
+        assert blame.segments["local"] == pytest.approx(20.0)  # 0-10, 90-100
+        assert blame.segments["wire"] == pytest.approx(80.0)
+
+    def test_unfinished_child_clipped_at_now(self):
+        # A handler that never finished (its site crashed) is clipped at
+        # the analysis timestamp, not dropped.
+        child = mkspan(2, "rpc:fs.read_page", "rpc", 10.0, None,
+                       parent_id=1)
+        child.end = None
+        spans = [mkspan(1, "syscall.read", "syscall", 0.0, 50.0), child]
+        report = analyze_spans(spans, now=200.0)
+        blame = report.syscalls["syscall.read"]
+        # The child is clipped to the parent window [10, 50].
+        assert blame.segments["local"] == pytest.approx(10.0)
+        assert blame.segments["wire"] == pytest.approx(40.0)
+        assert report.coverage == pytest.approx(1.0)
+
+    def test_child_outliving_parent_clipped(self):
+        # A spawned child that outlives its parent contributes only the
+        # part inside the parent's window.
+        spans = [
+            mkspan(1, "syscall.write", "syscall", 0.0, 50.0),
+            mkspan(2, "rpc:fs.notify", "rpc", 30.0, 500.0, parent_id=1),
+        ]
+        report = analyze_spans(spans)
+        blame = report.syscalls["syscall.write"]
+        assert blame.total == pytest.approx(50.0)
+        assert blame.segments["local"] == pytest.approx(30.0)
+        assert blame.segments["wire"] == pytest.approx(20.0)
+
+    def test_rpc_table_independent_of_nesting(self):
+        spans = [
+            mkspan(1, "syscall.read", "syscall", 0.0, 100.0),
+            mkspan(2, "rpc:fs.read_page", "rpc", 10.0, 90.0, parent_id=1),
+            mkspan(3, "serve:fs.read_page", "handler", 40.0, 70.0,
+                   parent_id=2, site=1),
+        ]
+        report = analyze_spans(spans)
+        rpc = report.rpcs["rpc:fs.read_page"]
+        assert rpc.total == pytest.approx(80.0)
+        assert rpc.segments["remote_service"] == pytest.approx(30.0)
+        assert rpc.segments["wire"] == pytest.approx(50.0)
+
+    def test_queue_events_clamped_to_self_time(self):
+        # Over-reported queue delays can never exceed the rpc's own self
+        # time (wire never goes negative).
+        spans = [
+            mkspan(1, "syscall.read", "syscall", 0.0, 10.0),
+            mkspan(2, "rpc:fs.read_page", "rpc", 0.0, 10.0, parent_id=1,
+                   events=[(5.0, "queue_wait", {"delay": 50.0})]),
+        ]
+        report = analyze_spans(spans)
+        blame = report.syscalls["syscall.read"]
+        assert blame.segments["queue"] == pytest.approx(10.0)
+        assert blame.segments["wire"] == pytest.approx(0.0)
+        assert report.coverage == pytest.approx(1.0)
+
+    def test_format_blame_deterministic(self):
+        spans = [
+            mkspan(1, "syscall.read", "syscall", 0.0, 100.0),
+            mkspan(2, "rpc:fs.read_page", "rpc", 10.0, 90.0, parent_id=1),
+        ]
+        a = format_blame(analyze_spans(spans))
+        b = format_blame(analyze_spans(spans))
+        assert a == b
+        assert "syscall.read" in a and "rpc:fs.read_page" in a
+
+
+def _storm_cluster(seed=11):
+    return _run_traced_workload("storm", seed, 3)
+
+
+class TestStormTrace:
+    def test_supervision_retries_in_blame_table(self):
+        cluster = _storm_cluster()
+        report = analyze(cluster.tracer)
+        assert report.root_count > 0
+        # The storm forces supervised retries; their backoff shows up as
+        # retry_wait somewhere in the syscall blame tables.
+        total_retry = report.segment_totals["retry_wait"]
+        assert total_retry > 0.0
+        assert report.coverage >= 0.95
+
+    def test_live_trace_coverage_complete(self):
+        cluster = _storm_cluster(seed=23)
+        report = analyze(cluster.tracer)
+        # Every root window instant is attributed to exactly one segment.
+        assert report.coverage == pytest.approx(1.0, abs=1e-9)
+        for blame in report.syscalls.values():
+            assert blame.attributed == pytest.approx(blame.total, abs=1e-6)
+
+    def test_failover_spans_present(self):
+        cluster = _storm_cluster()
+        names = {s.name for s in cluster.tracer.spans}
+        assert "fs.failover" in names or "fs.write_failover" in names
+
+    def test_segment_names_stable(self):
+        assert SEGMENTS == ("local", "queue", "wire", "remote_service",
+                            "retry_wait", "repair", "other")

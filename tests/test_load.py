@@ -1,0 +1,293 @@
+"""Load/hotspot accounting, the convergence monitor, and the ``top``
+report (ISSUE 10)."""
+
+import json
+
+import pytest
+
+from repro import LocusCluster
+from repro.cli import _top_workload
+from repro.config import CostModel
+from repro.obs.export import validate_trace_jsonl
+from repro.obs.load import (ConvergenceMonitor, RollingWindow, SpaceSaving,
+                            cluster_load_report, format_top, load_records,
+                            merge_sketches)
+
+
+class FakeSim:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+# ----------------------------------------------------------------------
+# Space-saving sketch
+# ----------------------------------------------------------------------
+
+class TestSpaceSaving:
+    def test_exact_below_capacity(self):
+        sk = SpaceSaving(capacity=4)
+        for key in "aabbbc":
+            sk.observe(key)
+        assert sk.top() == [("b", 3, 0), ("a", 2, 0), ("c", 1, 0)]
+
+    def test_eviction_inherits_floor_as_error(self):
+        sk = SpaceSaving(capacity=2)
+        sk.observe("a")
+        sk.observe("a")
+        sk.observe("b")
+        # "c" evicts the minimum ("b", count 1) and inherits its count.
+        sk.observe("c")
+        assert set(sk.counts) == {"a", "c"}
+        assert sk.counts["c"] == 2
+        assert sk.errors["c"] == 1
+        # Reported counts over-estimate by at most the error bound.
+        assert sk.counts["c"] - sk.errors["c"] == 1
+
+    def test_eviction_tie_breaks_on_key(self):
+        sk = SpaceSaving(capacity=2)
+        sk.observe("b")
+        sk.observe("a")          # both count 1 -> victim is "a" (min key)
+        sk.observe("z")
+        assert set(sk.counts) == {"b", "z"}
+
+    def test_heavy_hitter_survives_churn(self):
+        sk = SpaceSaving(capacity=8)
+        for i in range(200):
+            sk.observe("hot")
+            sk.observe(f"cold-{i}")
+        top_key, count, err = sk.top(1)[0]
+        assert top_key == "hot"
+        assert count >= 200
+        assert len(sk) == 8
+
+    def test_top_k_truncates(self):
+        sk = SpaceSaving(capacity=8)
+        for key in "aaabbc":
+            sk.observe(key)
+        assert [k for k, _, __ in sk.top(2)] == ["a", "b"]
+
+    def test_merge_sums_counts_and_errors(self):
+        a, b = SpaceSaving(4), SpaceSaving(4)
+        for __ in range(3):
+            a.observe("x")
+        b.observe("x")
+        b.observe("y")
+        merged = merge_sketches([a, b], capacity=4)
+        assert merged.counts["x"] == 4
+        assert merged.top(1)[0][0] == "x"
+
+    def test_merge_empty(self):
+        assert merge_sketches([]).top() == []
+
+
+# ----------------------------------------------------------------------
+# Rolling window
+# ----------------------------------------------------------------------
+
+class TestRollingWindow:
+    def test_counts_within_window(self):
+        sim = FakeSim()
+        win = RollingWindow(sim, width=100.0, buckets=4)
+        win.add()
+        sim.now = 150.0
+        win.add()
+        win.add()
+        assert win.total == 3
+        assert win.windowed() == 3
+
+    def test_old_buckets_age_out(self):
+        sim = FakeSim()
+        win = RollingWindow(sim, width=100.0, buckets=4)
+        win.add(5)
+        sim.now = 1000.0           # 10 buckets later, window is [7..10]
+        assert win.windowed() == 0
+        assert win.total == 5      # lifetime total keeps everything
+
+    def test_rate_uses_elapsed_then_window_span(self):
+        sim = FakeSim(now=50.0)
+        win = RollingWindow(sim, width=100.0, buckets=4)
+        win.add(10)
+        # Early in the run the denominator is clamped to one width.
+        assert win.rate() == pytest.approx(10 / 100.0)
+        sim.now = 10_000.0
+        win.add(4)
+        assert win.rate() == pytest.approx(4 / 400.0)
+
+
+# ----------------------------------------------------------------------
+# Convergence monitor
+# ----------------------------------------------------------------------
+
+class TestConvergenceMonitor:
+    def test_detection_latency_from_last_fault(self):
+        sim = FakeSim(now=100.0)
+        mon = ConvergenceMonitor(sim, enabled=True)
+        mon.note_fault("crash")
+        sim.now = 160.0
+        mon.note_detection("digest_skew", site=1, gfile=(0, 5))
+        sim.now = 200.0
+        mon.note_repair("propagate", site=1, gfile=(0, 5))
+        assert len(mon.detections()) == 1
+        assert len(mon.repairs()) == 1
+        det = mon.detections()[0]
+        assert det["fault_ts"] == 100.0
+        assert det["latency"] == pytest.approx(60.0)
+        # Only detections feed the latency histogram.
+        assert mon.detection_latency.count == 1
+        summary = mon.summary()
+        assert summary["faults"] == 1
+        assert summary["detection_latency"]["count"] == 1
+
+    def test_latency_measured_from_most_recent_fault(self):
+        sim = FakeSim(now=0.0)
+        mon = ConvergenceMonitor(sim, enabled=True)
+        mon.note_fault("crash")
+        sim.now = 500.0
+        mon.note_fault("loss_burst")
+        sim.now = 530.0
+        mon.note_detection("reconcile")
+        assert mon.detections()[0]["latency"] == pytest.approx(30.0)
+
+    def test_detection_without_fault_has_no_latency(self):
+        mon = ConvergenceMonitor(FakeSim(), enabled=True)
+        mon.note_detection("placement", site=0, gfile=(0, 2))
+        det = mon.detections()[0]
+        assert det["fault_ts"] is None and det["latency"] is None
+        assert mon.detection_latency.count == 0
+
+    def test_disabled_monitor_records_nothing(self):
+        mon = ConvergenceMonitor(FakeSim(), enabled=False)
+        mon.note_fault("crash")
+        mon.note_detection("digest_skew")
+        mon.note_repair("propagate")
+        assert mon.faults == [] and mon.events == []
+
+
+# ----------------------------------------------------------------------
+# Zero-cost property: vtime and messages identical with accounting off
+# ----------------------------------------------------------------------
+
+def _drive(load_accounting: bool):
+    cluster = LocusCluster(
+        n_sites=3, seed=42,
+        cost=CostModel().with_overrides(load_accounting=load_accounting))
+    sh = cluster.shell(0)
+    sh.setcopies(2)
+    sh.write_file("/f", b"x" * 2048)
+    cluster.settle()
+    cluster.partition({0}, {1, 2})
+    sh.write_file("/f", b"y" * 2048)       # diverge behind the partition
+    cluster.heal()
+    cluster.settle()
+    for __ in range(5):
+        cluster.shell(1).read_file("/f")
+    cluster.settle()
+    return cluster
+
+
+class TestZeroCost:
+    def test_on_off_parity(self):
+        on = _drive(True)
+        off = _drive(False)
+        assert on.sim.now == off.sim.now
+        assert on.stats.total_messages == off.stats.total_messages
+
+    def test_off_disables_gauges_and_records(self):
+        off = _drive(False)
+        assert not off.site(0).load.enabled
+        assert not off.convergence.enabled
+        assert load_records(off) == []
+
+    def test_on_populates_accounting(self):
+        on = _drive(True)
+        acct = on.site(0).load
+        assert acct.syscall_window.total > 0
+        g = acct.gauges()
+        assert g["syscalls"] > 0
+        # Synchronized opens were noted: /f is hot somewhere.
+        merged = merge_sketches([s.load.hot_inodes for s in on.sites])
+        assert len(merged) > 0
+        records = load_records(on)
+        assert [r for r in records if r["type"] == "load"]
+
+
+# ----------------------------------------------------------------------
+# The ``top`` report
+# ----------------------------------------------------------------------
+
+class TestTopReport:
+    def test_byte_deterministic(self):
+        a, __ = _top_workload(seed=5, sites=3, ops=40)
+        b, __ = _top_workload(seed=5, sites=3, ops=40)
+        assert format_top(a) == format_top(b)
+
+    def test_ranks_zipf_hot_inodes_and_filegroups(self):
+        cluster, paths = _top_workload(seed=5, sites=3, ops=60)
+        report = cluster_load_report(cluster)
+        counts = [count for __, count, ___ in report["hot_inodes"]]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > 1                  # Zipf head is genuinely hot
+        # The root filegroup carries the workload; /aux saw one read.
+        css = report["css"]
+        assert css[0]["gfs"] == 0
+        assert css[0]["opens"] > css[-1]["opens"]
+        assert len(css) >= 2
+
+    def test_report_sections_present(self):
+        cluster, __ = _top_workload(seed=3, sites=2, ops=20)
+        text = format_top(cluster)
+        for marker in ("LOCUS top", "-- sites --", "hottest inodes",
+                       "CSS load by filegroup", "backlog:", "convergence:"):
+            assert marker in text
+
+    def test_load_records_validate_in_export(self, tmp_path):
+        from repro.obs.export import export_jsonl
+        cluster, __ = _top_workload(seed=3, sites=2, ops=20)
+        path = tmp_path / "t.jsonl"
+        n = export_jsonl(cluster.tracer, str(path),
+                         extra=load_records(cluster))
+        assert n > 0
+        assert validate_trace_jsonl(str(path)) == []
+
+
+# ----------------------------------------------------------------------
+# Schema validation: forged load/detection records must be rejected
+# ----------------------------------------------------------------------
+
+class TestForgedRecords:
+    META = '{"type":"meta","spans":0,"instants":0,"vtime":0}\n'
+
+    def test_forged_load_record_rejected(self, tmp_path):
+        path = tmp_path / "forged.jsonl"
+        path.write_text(self.META + '{"type":"load","site":0}\n')
+        problems = validate_trace_jsonl(str(path))
+        assert any("load missing" in p for p in problems)
+
+    def test_forged_detection_record_rejected(self, tmp_path):
+        path = tmp_path / "forged.jsonl"
+        path.write_text(self.META + '{"type":"detection","seq":1}\n')
+        problems = validate_trace_jsonl(str(path))
+        assert any("detection missing" in p for p in problems)
+
+    def test_detection_event_vocabulary_enforced(self, tmp_path):
+        rec = {"type": "detection", "seq": 1, "ts": 0.0, "event": "guess",
+               "kind": "digest_skew", "site": 0, "gfile": [0, 1],
+               "fault_ts": None, "latency": None}
+        path = tmp_path / "forged.jsonl"
+        path.write_text(self.META + json.dumps(rec) + "\n")
+        problems = validate_trace_jsonl(str(path))
+        assert any("not detect/repair" in p for p in problems)
+
+    def test_wellformed_records_pass(self, tmp_path):
+        load = {"type": "load", "site": 0, "ts": 1.0,
+                "window": [2000.0, 8], "syscalls": 1, "syscall_rate": 0.0,
+                "rpcs": 0, "rpc_rate": 0.0, "rpc_ops": {},
+                "hot_inodes": [], "css": {}, "queues": {},
+                "replication": {}}
+        det = {"type": "detection", "seq": 1, "ts": 2.0, "event": "detect",
+               "kind": "digest_skew", "site": 0, "gfile": [0, 1],
+               "fault_ts": 1.0, "latency": 1.0}
+        path = tmp_path / "ok.jsonl"
+        path.write_text(self.META + json.dumps(load) + "\n"
+                        + json.dumps(det) + "\n")
+        assert validate_trace_jsonl(str(path)) == []

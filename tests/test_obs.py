@@ -20,9 +20,10 @@ import pytest
 from repro import LocusCluster
 from repro.config import CostModel
 from repro.errors import LocusError
-from repro.obs import (BUCKET_EDGES, Histogram, MetricsRegistry,
-                       causal_chains, export_chrome, export_jsonl,
-                       merge_snapshots, validate_trace_jsonl)
+from repro.obs import (BUCKET_EDGES, Histogram, HistSnapshot,
+                       MetricsRegistry, causal_chains, export_chrome,
+                       export_jsonl, merge_snapshots, merge_windows,
+                       validate_trace_jsonl)
 
 
 # ----------------------------------------------------------------------
@@ -98,6 +99,47 @@ class TestHistogram:
         h.observe(2.0)
         d = h.to_dict()
         assert d["count"] == 1 and d["p50"] == 2.0 and d["max"] == 2.0
+
+
+class TestClusterMerge:
+    """The public percentile-merge API the benchmark harness runs on."""
+
+    def test_merge_snapshots_empty_site_list(self):
+        merged = merge_snapshots([])
+        assert merged.count == 0
+        assert merged.percentile(99) == 0.0
+
+    def test_merge_snapshots_mismatched_ladder_raises(self):
+        good = Histogram().snapshot()
+        foreign = HistSnapshot(counts=(1, 2, 3), count=6, total=9.0)
+        with pytest.raises(ValueError, match="mismatched bucket ladder"):
+            merge_snapshots([good, foreign])
+
+    def test_merge_windows_empty_sites(self):
+        assert merge_windows([]) == {}
+
+    def test_merge_windows_skips_missing_and_empty_metrics(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        windows = [
+            {"syscall.read": a.snapshot(), "syscall.write": b.snapshot()},
+            {"syscall.read": Histogram().snapshot()},  # site 1 lacks write
+        ]
+        out = merge_windows(windows)
+        assert list(out) == ["syscall.read"]      # empty write dropped
+        assert out["syscall.read"]["count"] == 1
+
+    def test_merge_windows_prefix_filter(self):
+        h = Histogram()
+        h.observe(5.0)
+        windows = [{"syscall.read": h.snapshot(), "prop.lag": h.snapshot()}]
+        out = merge_windows(windows, prefix="syscall.")
+        assert list(out) == ["syscall.read"]
+
+    def test_merge_windows_mismatched_ladder_raises(self):
+        foreign = HistSnapshot(counts=(1,), count=1, total=1.0)
+        with pytest.raises(ValueError, match="mismatched bucket ladder"):
+            merge_windows([{"m": foreign}])
 
 
 class TestMetricsRegistry:
